@@ -1,0 +1,42 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper
+(DESIGN.md §3 maps experiment -> bench file).  Scale knobs:
+
+* ``REPRO_BENCH_SCALE`` — fraction of the paper's loop blocks
+  (default 0.12; 1.0 = the paper's full iteration counts);
+* ``REPRO_BENCH_RANKS`` — rank cap (default 8; set 0/empty for the
+  paper's full rank counts, e.g. 56).
+
+Shapes (who wins, orderings, crossovers) are scale-invariant because the
+workload calibration targets per-rank *rates*; full scale only tightens
+the absolute numbers.
+
+Rendered tables/figures are written to ``benchmarks/results/*.txt`` so
+the regenerated artifacts survive the pytest run.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+_ranks = os.environ.get("REPRO_BENCH_RANKS", "8")
+RANKS_CAP = int(_ranks) if _ranks and int(_ranks) > 0 else None
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def case_cache():
+    """Shared across benches: native baselines are reused by several
+    figures."""
+    from repro.harness.runner import CaseCache
+
+    return CaseCache()

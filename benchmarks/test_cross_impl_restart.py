@@ -1,0 +1,42 @@
+"""Cross-implementation restart ([GPC19] §3.6 + paper §9 future work).
+
+Stage 1: the primitives-only GROMACS proxy (the historically demonstrated
+case).  Stage 2: CoMD with user communicators and datatypes — the full
+interoperability the implementation-oblivious virtual ids enable.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def cross():
+    return E.cross_impl_restart(scale=0.25)
+
+
+def test_cross_impl_runs_and_saves(benchmark):
+    out = benchmark.pedantic(
+        E.cross_impl_restart, kwargs=dict(scale=0.25), rounds=1, iterations=1
+    )
+    save_result("cross_impl_restart", out["text"])
+    assert all(r["match"] for r in out["data"])
+
+
+def test_primitives_only_case(cross):
+    gromacs = next(r for r in cross["data"] if r["app"] == "gromacs")
+    assert gromacs["chain"] == ["mpich", "openmpi"]
+    assert gromacs["match"]
+
+
+def test_full_featured_chain(cross):
+    comd = next(r for r in cross["data"] if r["app"] == "comd")
+    assert comd["chain"] == ["mpich", "openmpi", "exampi"]
+    assert comd["match"]
+
+
+def test_results_bitwise_identical(cross):
+    # Deterministic numerics: the cross-restart results are not merely
+    # close — they are the same floats.
+    assert all(r["bitwise_equal"] for r in cross["data"])

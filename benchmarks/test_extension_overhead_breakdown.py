@@ -1,0 +1,30 @@
+"""Extension bench: MANA runtime decomposition per application.
+
+Quantifies the paper's §6.3 argument: the mana-overhead share of runtime
+orders exactly like the measured context-switch rates.
+"""
+
+from benchmarks.conftest import save_result
+from repro.harness import experiments as E
+
+
+def test_overhead_breakdown(benchmark):
+    out = benchmark.pedantic(
+        E.overhead_breakdown, kwargs=dict(scale=0.12, ranks_cap=8),
+        rounds=1, iterations=1,
+    )
+    save_result("extension_overhead_breakdown", out["text"])
+    d = out["data"]
+
+    def share(app):
+        return d[app]["mana_overhead"] / d[app]["total"]
+
+    # overhead share orders like the §6.3 CS rates
+    assert share("lammps") > share("sw4") > share("comd")
+    assert share("comd") > share("hpcg") > share("lulesh")
+    # compute dominates everywhere (these are real HPC workloads)
+    for app in d:
+        assert d[app]["compute"] / d[app]["total"] > 0.6
+        # accounts decompose the runtime completely
+        parts = sum(v for k, v in d[app].items() if k != "total")
+        assert abs(parts - d[app]["total"]) < 1e-6 * d[app]["total"]

@@ -1,0 +1,27 @@
+"""Extension bench: restart time vs image size (DESIGN.md ablation list).
+
+Not a paper table — the paper reports checkpoint times only (Table 3);
+this measures the symmetric restart cost under the same NFSv3 model.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.harness import experiments as E
+
+
+def test_restart_analysis(benchmark):
+    out = benchmark.pedantic(
+        E.restart_analysis, kwargs=dict(scale=0.15, ranks_cap=8),
+        rounds=1, iterations=1,
+    )
+    save_result("extension_restart_analysis", out["text"])
+    data = out["data"]
+    # restart time grows with image size, same amortization shape
+    rows = sorted(data.values(), key=lambda d: d["size_mb"])
+    times = [d["restart_time"] for d in rows]
+    assert times == sorted(times)
+    assert all(d["restart_time"] > 0 for d in data.values())
+    # big images: restart within 2x of checkpoint (read ~ write model)
+    big = data["hpcg"]
+    assert 0.5 < big["restart_time"] / big["ckpt_time"] < 2.0

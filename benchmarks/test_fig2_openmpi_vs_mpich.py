@@ -1,0 +1,101 @@
+"""Figure 2 — application runtimes, MPICH vs Open MPI (Discovery).
+
+Shape claims under test (paper §6.1):
+
+1. runtime overhead tracks MPI-call rate: LAMMPS worst, then SW4, then
+   CoMD/HPCG, LULESH least;
+2. the overhead under Open MPI exceeds the overhead under MPICH for the
+   high-rate applications (LAMMPS +32% -> +37%, SW4 +15% -> +18%);
+3. MANA+virtId on MPICH is at least as fast as legacy MANA (up to 1.6%
+   better);
+4. LAMMPS lands in the paper's overhead band.
+"""
+
+import pytest
+
+from benchmarks.conftest import RANKS_CAP, SCALE, save_result
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def fig2(case_cache):
+    return E.figure2(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache)
+
+
+def _overhead(values, app, case, base="native/mpich"):
+    return values[app][case] / values[app][base] - 1.0
+
+
+def test_figure2_runs_and_saves(benchmark, case_cache):
+    out = benchmark.pedantic(
+        E.figure2,
+        kwargs=dict(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache),
+        rounds=1, iterations=1,
+    )
+    save_result("figure2", out["text"])
+    assert set(out["values"]) == set(E.FIG2_APPS)
+    # Key paper shapes, validated inside the benchmark run itself:
+    v = out["values"]
+    ov = {a: _overhead(v, a, "mana+vid/mpich") for a in E.FIG2_APPS}
+    assert ov["lammps"] > ov["sw4"] > ov["comd"] > ov["lulesh"]
+    assert 0.20 < ov["lammps"] < 0.45            # paper: +32%
+    for app in ("lammps", "sw4"):
+        o_ompi = _overhead(v, app, "mana+vid/openmpi", "native/openmpi")
+        assert o_ompi > _overhead(v, app, "mana+vid/mpich"), app
+
+
+def test_overhead_tracks_call_rate(fig2):
+    v = fig2["values"]
+    ov = {a: _overhead(v, a, "mana+vid/mpich") for a in E.FIG2_APPS}
+    assert ov["lammps"] > ov["sw4"] > ov["comd"] > ov["lulesh"]
+    assert ov["lammps"] > ov["hpcg"]
+
+
+def test_openmpi_overhead_exceeds_mpich(fig2):
+    v = fig2["values"]
+    for app in ("lammps", "sw4", "comd"):
+        o_mpich = _overhead(v, app, "mana+vid/mpich", "native/mpich")
+        o_ompi = _overhead(v, app, "mana+vid/openmpi", "native/openmpi")
+        assert o_ompi > o_mpich, app
+
+
+def test_lammps_overheads_in_paper_band(fig2):
+    v = fig2["values"]
+    o_mpich = _overhead(v, "lammps", "mana+vid/mpich", "native/mpich")
+    o_ompi = _overhead(v, "lammps", "mana+vid/openmpi", "native/openmpi")
+    # paper: +32% / +37%; allow a generous band around the shape
+    assert 0.20 < o_mpich < 0.45
+    assert 0.25 < o_ompi < 0.55
+
+
+def test_sw4_overheads_in_paper_band(fig2):
+    v = fig2["values"]
+    o_mpich = _overhead(v, "sw4", "mana+vid/mpich", "native/mpich")
+    o_ompi = _overhead(v, "sw4", "mana+vid/openmpi", "native/openmpi")
+    # paper: +15% / +18%
+    assert 0.08 < o_mpich < 0.25
+    assert o_mpich < o_ompi < 0.30
+
+
+def test_low_rate_apps_have_low_overhead(fig2):
+    v = fig2["values"]
+    for app in ("lulesh", "hpcg"):
+        assert _overhead(v, app, "mana+vid/mpich") < 0.10, app
+
+
+def test_virtid_not_slower_than_legacy_on_mpich(fig2):
+    v = fig2["values"]
+    for app in E.FIG2_APPS:
+        legacy = v[app]["mana/mpich"]
+        new = v[app]["mana+vid/mpich"]
+        assert new <= legacy * 1.002, app  # up-to-1.6% improvement claim
+
+
+def test_native_runtimes_equal_across_impls(fig2):
+    # Native runtimes are compute-dominated; MPICH vs Open MPI must be
+    # within noise of each other (the paper normalizes per-impl anyway).
+    v = fig2["values"]
+    for app in E.FIG2_APPS:
+        assert v[app]["native/openmpi"] == pytest.approx(
+            v[app]["native/mpich"], rel=0.02
+        )

@@ -1,0 +1,64 @@
+"""Figure 3 — ExaMPI runtimes on Discovery.
+
+Shape claims (paper §6.2): MANA+virtId makes ExaMPI checkpointable at
+all (point of novelty #1); overheads are comparable to MPICH with a
+slightly higher tendency; only the ExaMPI-compatible application subset
+runs (HPCG and SW4 are excluded by ExaMPI's missing functions).
+"""
+
+import pytest
+
+from benchmarks.conftest import RANKS_CAP, SCALE, save_result
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def fig3(case_cache):
+    return E.figure3(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache)
+
+
+def test_figure3_runs_and_saves(benchmark, case_cache):
+    out = benchmark.pedantic(
+        E.figure3,
+        kwargs=dict(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache),
+        rounds=1, iterations=1,
+    )
+    save_result("figure3", out["text"])
+    assert set(out["values"]) == set(E.FIG3_APPS) == {"comd", "lammps", "lulesh"}
+    v = out["values"]
+    for app in E.FIG3_APPS:
+        assert v[app]["mana+vid/exampi"] is not None  # novelty #1
+
+
+def test_exampi_apps_are_the_compatible_subset(fig3):
+    assert set(fig3["values"]) == {"comd", "lammps", "lulesh"}
+
+
+def test_mana_virtid_completes_on_exampi(fig3):
+    for app in E.FIG3_APPS:
+        assert fig3["values"][app]["mana+vid/exampi"] is not None
+
+
+def test_exampi_overhead_at_least_mpich(fig3):
+    v = fig3["values"]
+    for app in E.FIG3_APPS:
+        o_mpich = v[app]["mana+vid/mpich"] / v[app]["native/mpich"] - 1
+        o_exa = v[app]["mana+vid/exampi"] / v[app]["native/exampi"] - 1
+        assert o_exa >= o_mpich * 0.95, app
+
+
+def test_lammps_highest_overhead_on_exampi(fig3):
+    v = fig3["values"]
+    ov = {
+        a: v[a]["mana+vid/exampi"] / v[a]["native/exampi"] - 1
+        for a in E.FIG3_APPS
+    }
+    assert ov["lammps"] > ov["comd"] > ov["lulesh"]
+
+
+def test_incompatible_apps_cannot_run_on_exampi():
+    from repro.harness.runner import run_case
+    from repro.util.errors import ReproError
+
+    with pytest.raises(ReproError, match="does not implement"):
+        run_case("sw4", "exampi", False, scale=0.05, ranks_cap=4)

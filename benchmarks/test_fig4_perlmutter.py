@@ -1,0 +1,71 @@
+"""Figure 4 — Cray MPI on Perlmutter (userspace FSGSBASE).
+
+Shape claims (paper §6.4): the large Discovery overheads disappear when
+FSGSBASE is available (~5% or less; LAMMPS 32.2% -> 5.4%); virtId can
+still improve on standard MANA (SW4 5.5% -> 4.2%).
+"""
+
+import pytest
+
+from benchmarks.conftest import RANKS_CAP, SCALE, save_result
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def fig4(case_cache):
+    return E.figure4(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache)
+
+
+def _ov(values, app, case):
+    return values[app][case] / values[app]["native/craympi"] - 1
+
+
+def test_figure4_runs_and_saves(benchmark, case_cache):
+    out = benchmark.pedantic(
+        E.figure4,
+        kwargs=dict(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache),
+        rounds=1, iterations=1,
+    )
+    save_result("figure4", out["text"])
+    assert set(out["values"]) == set(E.FIG4_APPS)
+    v = out["values"]
+    for app in E.FIG4_APPS:
+        assert _ov(v, app, "mana+vid/craympi") < 0.09, app
+        assert v[app]["mana+vid/craympi"] <= v[app]["mana/craympi"], app
+
+
+def test_fsgsbase_overheads_small(fig4):
+    for app in E.FIG4_APPS:
+        assert _ov(fig4["values"], app, "mana+vid/craympi") < 0.09, app
+        assert _ov(fig4["values"], app, "mana/craympi") < 0.13, app
+
+
+def test_lammps_dramatic_reduction_vs_discovery(fig4, case_cache):
+    """LAMMPS: 32% on Discovery vs ~5% on Perlmutter."""
+    disc_nat = case_cache.get(
+        app_name="lammps", impl="mpich", mana=False, vid_design="new",
+        platform="discovery", scale=SCALE, ranks_cap=RANKS_CAP,
+    )
+    disc_mana = case_cache.get(
+        app_name="lammps", impl="mpich", mana=True, vid_design="new",
+        platform="discovery", scale=SCALE, ranks_cap=RANKS_CAP,
+    )
+    o_disc = disc_mana.runtime / disc_nat.runtime - 1
+    o_perl = _ov(fig4["values"], "lammps", "mana/craympi")
+    assert o_perl < o_disc / 3
+
+
+def test_virtid_improves_on_standard_mana(fig4):
+    """SW4's 5.5% -> 4.2% improvement: virtId strictly faster here."""
+    v = fig4["values"]
+    for app in E.FIG4_APPS:
+        assert v[app]["mana+vid/craympi"] <= v[app]["mana/craympi"], app
+
+
+def test_perlmutter_native_faster_than_discovery(fig4, case_cache):
+    disc = case_cache.get(
+        app_name="comd", impl="mpich", mana=False, vid_design="new",
+        platform="discovery", scale=SCALE, ranks_cap=RANKS_CAP,
+    )
+    perl = fig4["values"]["comd"]["native/craympi"]
+    assert perl < disc.runtime  # EPYC 7763 vs Cascade Lake

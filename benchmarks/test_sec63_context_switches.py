@@ -1,0 +1,49 @@
+"""Section 6.3 — context switches per second per application.
+
+The paper's measured rates (job aggregate): CoMD 3.7M @27r, HPCG 4.7M
+@56r, LAMMPS 22.9M @56r, LULESH 1.3M @27r, SW4 12.5M @56r.  The shape
+claims: the per-rank rate ordering, and quantitative agreement with the
+calibration targets (the mechanism driving every overhead figure).
+"""
+
+import pytest
+
+from benchmarks.conftest import RANKS_CAP, SCALE, save_result
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def sec63(case_cache):
+    return E.section63(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache)
+
+
+def test_section63_runs_and_saves(benchmark, case_cache):
+    out = benchmark.pedantic(
+        E.section63,
+        kwargs=dict(scale=SCALE, ranks_cap=RANKS_CAP, cache=case_cache),
+        rounds=1, iterations=1,
+    )
+    save_result("section63", out["text"])
+    r = {a: d["measured_cs_per_rank_s"] for a, d in out["data"].items()}
+    assert r["lammps"] > r["sw4"] > r["comd"] > r["hpcg"] > r["lulesh"]
+    for app, d in out["data"].items():
+        ratio = d["measured_cs_per_rank_s"] / d["paper_cs_per_rank_s"]
+        assert 0.65 < ratio < 1.35, (app, ratio)
+
+
+def test_rate_ordering_matches_paper(sec63):
+    r = {a: d["measured_cs_per_rank_s"] for a, d in sec63["data"].items()}
+    assert r["lammps"] > r["sw4"] > r["comd"] > r["hpcg"] > r["lulesh"]
+
+
+def test_rates_match_paper_within_35_percent(sec63):
+    for app, d in sec63["data"].items():
+        ratio = d["measured_cs_per_rank_s"] / d["paper_cs_per_rank_s"]
+        assert 0.65 < ratio < 1.35, (app, ratio)
+
+
+def test_order_of_magnitude_spread(sec63):
+    """§6.3: 'the quantity of switches differs by as much as an order of
+    magnitude between applications.'"""
+    rates = [d["measured_cs_per_rank_s"] for d in sec63["data"].values()]
+    assert max(rates) / min(rates) > 6

@@ -1,0 +1,24 @@
+"""Tables 1 and 2 — the input configuration tables."""
+
+from benchmarks.conftest import save_result
+from repro.harness import experiments as E
+
+
+def test_table1_inputs(benchmark):
+    out = benchmark.pedantic(E.table1, rounds=1, iterations=1)
+    save_result("table1", out["text"])
+    rows = {r[0]: (r[1], r[2]) for r in out["data"]}
+    assert rows["CoMD"] == (27, "-N 10000")
+    assert rows["HPCG"][0] == 56
+    assert rows["LAMMPS"] == (56, "-in bench/in.lj (run=50000)")
+    assert rows["LULESH"] == (27, "-p -i 100 -s 100")
+    assert rows["SW4"] == (56, "tests/curvimr/energy-1.in")
+
+
+def test_table2_inputs(benchmark):
+    out = benchmark.pedantic(E.table2, rounds=1, iterations=1)
+    save_result("table2", out["text"])
+    rows = {r[0]: (r[1], r[2]) for r in out["data"]}
+    assert rows["CoMD"] == (64, "-N 30000")
+    assert rows["LAMMPS"][0] == 64
+    assert rows["SW4"][0] == 64

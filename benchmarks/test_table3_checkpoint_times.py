@@ -1,0 +1,57 @@
+"""Table 3 — checkpoint sizes, times, and per-rank bandwidth (NFSv3).
+
+Shape claims: image sizes span CoMD's 32 MB to HPCG's 934 MB; checkpoint
+time grows with image size; **MB/s/rank rises with image size** (the
+fixed per-checkpoint cost amortizes) — the trend the paper highlights.
+"""
+
+import pytest
+
+from benchmarks.conftest import RANKS_CAP, SCALE, save_result
+from repro.harness import experiments as E
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return E.table3(
+        scale=min(SCALE, 0.15),
+        ranks_cap=min(RANKS_CAP or 12, 12),
+    )
+
+
+def test_table3_runs_and_saves(benchmark):
+    out = benchmark.pedantic(
+        E.table3,
+        kwargs=dict(scale=min(SCALE, 0.15), ranks_cap=min(RANKS_CAP or 12, 12)),
+        rounds=1, iterations=1,
+    )
+    save_result("table3", out["text"])
+    rows = sorted(out["data"].values(), key=lambda d: d["size_mb"])
+    rates = [d["mb_per_s_per_rank"] for d in rows]
+    assert rates == sorted(rates)  # MB/s/rank rises with image size
+
+
+def test_image_sizes_match_paper(table3):
+    for app, d in table3["data"].items():
+        paper_mb = d["paper"]["size_mb"]
+        assert d["size_mb"] == pytest.approx(paper_mb, rel=0.06), app
+
+
+def test_checkpoint_times_in_paper_band(table3):
+    for app, d in table3["data"].items():
+        assert d["ckpt_time"] == pytest.approx(
+            d["paper"]["ckpt_time"], rel=0.6
+        ), (app, d["ckpt_time"])
+
+
+def test_mbps_per_rank_rises_with_size(table3):
+    rows = sorted(table3["data"].values(), key=lambda d: d["size_mb"])
+    rates = [d["mb_per_s_per_rank"] for d in rows]
+    assert rates == sorted(rates)
+
+
+def test_extremes_match_paper_direction(table3):
+    d = table3["data"]
+    assert d["comd"]["mb_per_s_per_rank"] < 6       # paper: 3.6
+    assert d["hpcg"]["mb_per_s_per_rank"] > 9       # paper: 12.8
+    assert d["hpcg"]["ckpt_time"] > 4 * d["comd"]["ckpt_time"]

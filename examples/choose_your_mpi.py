@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Develop once, run everywhere — the implementation-oblivious claim.
+
+The same unmodified application (a LAMMPS-style LJ benchmark) runs under
+MANA on all four simulated MPI implementations.  The *legacy* virtual-id
+design is also attempted everywhere: it works only on the MPICH family
+and fails on pointer-handle implementations — exactly the limitation
+(paper §4.1) that motivated the new architecture.
+
+Run:  python examples/choose_your_mpi.py
+"""
+
+from dataclasses import replace
+
+from repro import JobConfig, Launcher
+from repro.apps import LammpsLJProxy
+from repro.util.errors import IncompatibleHandleError
+
+
+def run(impl: str, mana: bool, vid: str = "new"):
+    spec = replace(LammpsLJProxy.paper_config(), nranks=8, blocks=6)
+    cfg = JobConfig(nranks=8, impl=impl, mana=mana, vid_design=vid)
+    res = Launcher(cfg).run(lambda r: LammpsLJProxy(spec))
+    if res.status == "failed" and "IncompatibleHandleError" in (
+        res.first_error() or ""
+    ):
+        raise IncompatibleHandleError(res.first_error())
+    assert res.status == "completed", res.first_error()
+    return res
+
+
+def main() -> None:
+    print(f"{'impl':10} {'native':>9} {'MANA+virtId':>12} {'overhead':>9} "
+          f"{'legacy MANA':>12}")
+    print("-" * 58)
+    for impl in ("mpich", "openmpi", "exampi", "craympi"):
+        nat = run(impl, mana=False)
+        man = run(impl, mana=True, vid="new")
+        overhead = man.runtime / nat.runtime - 1
+        try:
+            run(impl, mana=True, vid="legacy")
+            legacy = "works"
+        except IncompatibleHandleError:
+            legacy = "INCOMPATIBLE"
+        print(f"{impl:10} {nat.runtime:8.1f}s {man.runtime:11.1f}s "
+              f"{overhead:+8.1%} {legacy:>12}")
+
+    print(
+        "\nThe new virtual ids run everywhere; the legacy int-based ids\n"
+        "cannot represent Open MPI / ExaMPI pointer handles (paper §4.1).\n"
+        "All four results come from ONE application source and ONE MANA\n"
+        "codebase — 'develop once, run everywhere'."
+    )
+
+
+if __name__ == "__main__":
+    main()

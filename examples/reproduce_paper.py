@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Usage:
+    python examples/reproduce_paper.py             # quick (~1 minute)
+    python examples/reproduce_paper.py --scale 0.5 # closer to paper scale
+    python examples/reproduce_paper.py --full      # paper ranks + blocks
+
+Output: each experiment's table/figure rendered to stdout, with the
+paper's reference numbers alongside.  See EXPERIMENTS.md for the
+paper-vs-measured record of a full run.
+"""
+
+import argparse
+import time
+
+from repro.harness import experiments as E
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=0.12,
+                    help="fraction of the paper's loop blocks (default 0.12)")
+    ap.add_argument("--ranks-cap", type=int, default=8,
+                    help="cap rank counts (default 8; 0 = paper scale)")
+    ap.add_argument("--full", action="store_true",
+                    help="paper scale: --scale 1.0, no rank cap (slow!)")
+    ap.add_argument("--only", choices=[
+        "table1", "table2", "figure2", "figure3", "figure4",
+        "section63", "table3", "cross_impl_restart", "restart_analysis",
+        "overhead_breakdown", "ablation_ggid", "ablation_vid_lookup",
+    ], help="run a single experiment")
+    args = ap.parse_args()
+
+    scale = 1.0 if args.full else args.scale
+    ranks_cap = None if (args.full or args.ranks_cap == 0) else args.ranks_cap
+
+    t0 = time.monotonic()
+    if args.only:
+        from repro.harness.runner import CaseCache
+
+        fn = getattr(E, args.only)
+        if args.only in ("table1", "table2", "ablation_ggid",
+                         "ablation_vid_lookup", "cross_impl_restart",
+                         "restart_analysis", "overhead_breakdown"):
+            out = fn()
+        else:
+            out = fn(scale, ranks_cap, CaseCache())
+        print(out["text"])
+    else:
+        results = E.run_all(scale=scale, ranks_cap=ranks_cap)
+        for name, out in results.items():
+            print(out["text"])
+            print("\n" + "·" * 78 + "\n")
+    print(f"[reproduced in {time.monotonic() - t0:.0f}s wall time; "
+          f"scale={scale}, ranks_cap={ranks_cap}]")
+
+
+if __name__ == "__main__":
+    main()

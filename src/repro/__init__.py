@@ -1,0 +1,40 @@
+"""repro — a simulated reproduction of "Implementation-Oblivious
+Transparent Checkpoint-Restart for MPI" (MANA, SC 2023).
+
+Public surface (see README.md for a tour):
+
+* :class:`repro.runtime.JobConfig` / :class:`repro.runtime.Launcher` —
+  run a simulated MPI application, natively or under MANA;
+* :class:`repro.runtime.MpiApplication` — the application contract;
+* ``job.request_checkpoint(...)`` — transparent checkpoints (continue /
+  relaunch / preempt), and ``Launcher.restart(...)`` — cold restart,
+  optionally under a different MPI implementation;
+* :mod:`repro.apps` — the five proxy applications of Section 6;
+* :mod:`repro.harness` — regenerates every table and figure of the paper.
+"""
+
+from repro.runtime import (
+    Job,
+    JobConfig,
+    JobResult,
+    Launcher,
+    MpiApplication,
+    RankContext,
+)
+from repro.mana.coordinator import CheckpointKind, CheckpointMode
+from repro.util.registry import user_op
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Job",
+    "JobConfig",
+    "JobResult",
+    "Launcher",
+    "MpiApplication",
+    "RankContext",
+    "CheckpointKind",
+    "CheckpointMode",
+    "user_op",
+    "__version__",
+]

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        run a proxy application (optionally under MANA, optionally
+           preempting it at an iteration)
+restart    cold-restart a job from a checkpoint directory, optionally
+           under a different MPI implementation
+report     regenerate one (or all) of the paper's tables/figures
+apps       list the available proxy applications
+impls      list the simulated MPI implementations and their properties
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+
+def _cmd_run(args) -> int:
+    from repro import JobConfig, Launcher
+    from repro.apps import APP_CLASSES
+
+    cls = APP_CLASSES[args.app]
+    spec = cls.paper_config(args.platform)
+    if args.ranks:
+        spec = replace(spec, nranks=args.ranks)
+    if args.blocks:
+        spec = replace(spec, blocks=args.blocks)
+    cfg = JobConfig(
+        nranks=spec.nranks,
+        impl=args.impl,
+        platform=args.platform,
+        mana=args.mana or args.preempt_at is not None,
+        vid_design=args.vid_design,
+        ckpt_dir=args.ckpt_dir,
+        ckpt_interval=args.ckpt_interval,
+        loop_lag_window=args.lag_window,
+    )
+    job = Launcher(cfg).launch(lambda r: cls(spec))
+    ticket = None
+    if args.preempt_at is not None:
+        ticket = job.checkpoint_at_iteration(
+            "main", args.preempt_at, kind="loop", mode="exit"
+        )
+    job.start()
+    if ticket is not None:
+        info = ticket.wait()
+        print(f"checkpoint generation {info['generation']}: "
+              f"{info['mean_bytes_per_rank'] / 1e6:.1f} MB/rank, "
+              f"{info['ckpt_time']:.1f} s -> {cfg.ckpt_dir}")
+    res = job.wait()
+    print(f"status   : {res.status}")
+    if res.status == "failed":
+        print(res.first_error())
+        return 1
+    print(f"runtime  : {res.runtime:.2f} virtual s "
+          f"({res.config.impl}, mana={cfg.mana})")
+    if cfg.mana:
+        print(f"crossings: {res.total_cs:,} "
+              f"({res.cs_per_second / 1e6:.2f}M CS/s)")
+    if cfg.ckpt_dir:
+        print(f"ckpt dir : {cfg.ckpt_dir}")
+    return 0
+
+
+def _cmd_restart(args) -> int:
+    from repro import JobConfig, Launcher
+
+    cfg = JobConfig(nranks=1, impl="mpich", mana=True,
+                    loop_lag_window=args.lag_window)
+    job = Launcher(cfg).restart(
+        args.ckpt_dir, generation=args.generation,
+        impl_override=args.impl,
+    )
+    res = job.run()
+    print(f"status : {res.status}")
+    if res.status == "failed":
+        print(res.first_error())
+        return 1
+    print(f"runtime: {res.runtime:.2f} virtual s "
+          f"(restarted under {job.config.impl})")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness import experiments as E
+    from repro.harness.runner import CaseCache
+
+    names = (
+        [args.experiment]
+        if args.experiment != "all"
+        else ["table1", "table2", "figure2", "figure3", "figure4",
+              "section63", "table3", "cross_impl_restart",
+              "restart_analysis", "overhead_breakdown", "ablation_ggid",
+              "ablation_vid_lookup"]
+    )
+    cache = CaseCache()
+    for name in names:
+        fn = getattr(E, name)
+        if name in ("table1", "table2", "ablation_ggid",
+                    "ablation_vid_lookup", "cross_impl_restart",
+                    "restart_analysis", "overhead_breakdown"):
+            out = fn()
+        else:
+            out = fn(args.scale, args.ranks_cap or None, cache)
+        print(out["text"])
+        print()
+    return 0
+
+
+def _cmd_apps(_args) -> int:
+    from repro.apps import APP_CLASSES, EXAMPI_COMPATIBLE
+
+    print(f"{'app':10} {'ranks':>5} {'input':30} {'exampi?':>8}")
+    for name, cls in sorted(APP_CLASSES.items()):
+        spec = cls.paper_config()
+        ok = "yes" if name in EXAMPI_COMPATIBLE else "no"
+        print(f"{name:10} {spec.nranks:5} {spec.input_label:30} {ok:>8}")
+    return 0
+
+
+def _cmd_impls(_args) -> int:
+    from repro.impls import IMPLS
+    from repro.fabric.network import Fabric
+    from repro.simtime.clock import VirtualClock
+    from repro.simtime.cost import CostModel
+
+    print(f"{'impl':10} {'handle bits':>11} {'unsupported fns':>16}")
+    for name, cls in sorted(IMPLS.items()):
+        lib = cls(Fabric(1, CostModel.discovery()), 0, VirtualClock(),
+                  CostModel.discovery())
+        print(f"{name:10} {lib.handles.handle_bits:11} "
+              f"{len(cls.UNSUPPORTED):16}")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run a proxy application")
+    p.add_argument("app", choices=["comd", "hpcg", "lammps", "lulesh",
+                                   "sw4", "gromacs", "vasp"])
+    p.add_argument("--impl", default="mpich",
+                   choices=["mpich", "openmpi", "exampi", "craympi"])
+    p.add_argument("--platform", default="discovery",
+                   choices=["discovery", "perlmutter"])
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--blocks", type=int, default=8)
+    p.add_argument("--mana", action="store_true")
+    p.add_argument("--vid-design", default="new", choices=["new", "legacy"])
+    p.add_argument("--ckpt-dir", default=None)
+    p.add_argument("--ckpt-interval", type=float, default=None,
+                   help="periodic checkpoints every N virtual seconds")
+    p.add_argument("--preempt-at", type=int, default=None,
+                   help="checkpoint+exit when the main loop reaches this "
+                        "iteration (implies --mana)")
+    p.add_argument("--lag-window", type=int, default=4)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("restart", help="cold-restart from a checkpoint dir")
+    p.add_argument("ckpt_dir")
+    p.add_argument("--generation", type=int, default=None)
+    p.add_argument("--impl", default=None,
+                   choices=["mpich", "openmpi", "exampi", "craympi"],
+                   help="restart under a different MPI implementation")
+    p.add_argument("--lag-window", type=int, default=4)
+    p.set_defaults(fn=_cmd_restart)
+
+    p = sub.add_parser("report", help="regenerate paper tables/figures")
+    p.add_argument("experiment", nargs="?", default="all",
+                   choices=["all", "table1", "table2", "figure2", "figure3",
+                            "figure4", "section63", "table3",
+                            "cross_impl_restart", "restart_analysis",
+                            "overhead_breakdown", "ablation_ggid",
+                            "ablation_vid_lookup"])
+    p.add_argument("--scale", type=float, default=0.12)
+    p.add_argument("--ranks-cap", type=int, default=8)
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("apps", help="list proxy applications")
+    p.set_defaults(fn=_cmd_apps)
+
+    p = sub.add_parser("impls", help="list MPI implementations")
+    p.set_defaults(fn=_cmd_impls)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

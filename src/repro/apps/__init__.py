@@ -1,0 +1,52 @@
+"""Proxy applications — the five real-world workloads of Section 6.
+
+Each proxy keeps its namesake's *communication skeleton* (decomposition,
+message pattern, collective mix) and is calibrated to the paper's
+observable aggregates: per-rank MPI-call rates (the §6.3 context-switch
+measurements), native runtimes, and checkpoint image sizes (Table 3).
+The calibration mechanism is documented in :mod:`repro.apps.base`.
+
+ExaMPI compatibility (Figure 3's "subset of applications known to be
+compatible"): CoMD, LAMMPS, and LULESH restrict themselves to ExaMPI's
+function subset; HPCG (allgatherv) and SW4 (cartesian topology +
+alltoallv) do not.
+"""
+
+from repro.apps.base import WorkloadSpec, grid_dims, coords_of, rank_of, face_neighbors
+from repro.apps.comd import CoMDProxy
+from repro.apps.lammps_lj import LammpsLJProxy
+from repro.apps.lulesh import LuleshProxy
+from repro.apps.hpcg import HpcgProxy
+from repro.apps.sw4 import Sw4Proxy
+from repro.apps.gromacs_primitives import GromacsPrimitivesProxy
+from repro.apps.vasp_like import VaspLikeProxy
+
+APP_CLASSES = {
+    "comd": CoMDProxy,
+    "hpcg": HpcgProxy,
+    "lammps": LammpsLJProxy,
+    "lulesh": LuleshProxy,
+    "sw4": Sw4Proxy,
+    "gromacs": GromacsPrimitivesProxy,
+    "vasp": VaspLikeProxy,
+}
+
+#: Applications runnable under ExaMPI's subset (Figure 3).
+EXAMPI_COMPATIBLE = ("comd", "lammps", "lulesh", "gromacs", "vasp")
+
+__all__ = [
+    "WorkloadSpec",
+    "grid_dims",
+    "coords_of",
+    "rank_of",
+    "face_neighbors",
+    "CoMDProxy",
+    "LammpsLJProxy",
+    "LuleshProxy",
+    "HpcgProxy",
+    "Sw4Proxy",
+    "GromacsPrimitivesProxy",
+    "VaspLikeProxy",
+    "APP_CLASSES",
+    "EXAMPI_COMPATIBLE",
+]

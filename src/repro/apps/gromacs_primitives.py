@@ -1,0 +1,71 @@
+"""GROMACS-primitives proxy — the [GPC19, §3.6] cross-restart workload.
+
+The original MANA paper demonstrated checkpoint-under-Cray-MPI /
+restart-under-Open-MPI for exactly one application: a version of GROMACS
+*restricted to MPI primitives* — MPI_COMM_WORLD, predefined datatypes,
+no user-created MPI objects of any kind (not even a communicator).
+
+This proxy honors that restriction to the letter: its only MPI surface
+is Send/Recv/Allreduce/Barrier on MPI_COMM_WORLD with MPI_DOUBLE.  The
+cross-implementation restart benchmark runs it first (the historically
+demonstrated case), then runs the full-featured proxies (the §9
+future-work case the new virtual-id design makes possible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import BlockApp, WorkloadSpec
+from repro.util.rng import DeterministicRng
+
+
+class GromacsPrimitivesProxy(BlockApp):
+    name = "gromacs"
+
+    @staticmethod
+    def paper_config(platform: str = "discovery") -> WorkloadSpec:
+        return WorkloadSpec(
+            nranks=8,
+            blocks=30,
+            steps_per_block=1000,
+            compute_per_block=1.0,
+            halo_bytes=8 * 1024,
+            input_label="gromacs (MPI primitives only)",
+            simulated_state_bytes=24 * 1024 * 1024,
+        )
+
+    # ------------------------------------------------------------------
+    def init_state(self, ctx) -> None:
+        rng = DeterministicRng(self.spec.seed, f"gromacs/{ctx.rank}")
+        n = self.spec.halo_bytes // 8
+        self.coords = rng.array_uniform((n,), 0.0, 1.0)
+        self.energy_history = []
+        # Deliberately NO MPI object creation here.
+
+    def block(self, ctx, it: int) -> None:
+        MPI = ctx.MPI
+        world = MPI.COMM_WORLD
+        ctx.compute(self.spec.compute_per_block)
+        n = self.coords.size
+
+        # Ring exchange of coordinates with bare Send/Recv.
+        nxt = (ctx.rank + 1) % ctx.nranks
+        prv = (ctx.rank - 1) % ctx.nranks
+        MPI.send(self.coords, n, MPI.DOUBLE, nxt, 700, world)
+        incoming = np.zeros(n)
+        MPI.recv(incoming, n, MPI.DOUBLE, prv, 700, world)
+        self.coords += incoming * 1e-6
+        self.checksum += self._mix(self.coords)
+
+        local = np.array([float(self.coords.sum())])
+        total = np.zeros(1)
+        MPI.allreduce(local, total, 1, MPI.DOUBLE, MPI.SUM, world)
+        self.energy_history.append(float(total[0]))
+        if it % 10 == 9:
+            MPI.barrier(world)
+
+    def validate(self, ctx) -> str:
+        if self.blocks_done != self.spec.blocks:
+            return f"gromacs finished {self.blocks_done}/{self.spec.blocks}"
+        return None

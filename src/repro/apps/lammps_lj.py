@@ -1,0 +1,109 @@
+"""LAMMPS proxy — the ``bench/in.lj`` Lennard-Jones benchmark.
+
+LAMMPS is the paper's highest MPI-call-rate application (22.9M CS/s at
+56 ranks, §6.3) because every timestep performs *two* neighbor
+communication phases (forward position comm, reverse force comm), each
+a nonblocking exchange with the six face neighbors.
+
+Per block (= ``steps_per_block`` timesteps):
+
+* forward comm: 6x isend + 6x irecv + waitall;
+* reverse comm: 6x isend + 6x irecv + waitall;
+* one ``MPI_Allreduce(SUM)`` (pressure/energy tally);
+* every 5th block a thermo ``MPI_Bcast`` from rank 0.
+
+ExaMPI-compatible.  Crossings per block ~= 2*(6+6+1) + (1+1) + 0.4 ~= 28.
+Calibration (Table 1: 56 ranks, run=50000): 22.9M/56 = 409k/rank/s;
+K calibrated empirically to 33050 (cs/rank/s == 409k measured).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import BlockApp, WorkloadSpec, face_neighbors, grid_dims
+from repro.util.rng import DeterministicRng
+
+
+class LammpsLJProxy(BlockApp):
+    name = "lammps"
+
+    @staticmethod
+    def paper_config(platform: str = "discovery") -> WorkloadSpec:
+        nranks = 64 if platform == "perlmutter" else 56
+        return WorkloadSpec(
+            nranks=nranks,
+            blocks=40,
+            steps_per_block=33050,
+            compute_per_block=3.2,
+            halo_bytes=24 * 1024,
+            input_label="-in bench/in.lj (run=50000)",
+            simulated_state_bytes=42 * 1024 * 1024,
+        )
+
+    # ------------------------------------------------------------------
+    def init_state(self, ctx) -> None:
+        spec = self.spec
+        self.dims = grid_dims(spec.nranks)
+        self.halo_pairs = face_neighbors(ctx.rank, self.dims, periodic=True)
+        rng = DeterministicRng(spec.seed, f"lammps/{ctx.rank}")
+        n_local = max(128, spec.halo_bytes // 8)
+        self.x = rng.array_uniform((n_local,), -1.0, 1.0)
+        self.f = np.zeros(n_local)
+        self.n_halo = spec.halo_bytes // 8
+        self.thermo = []
+
+    def _exchange(self, ctx, payload: np.ndarray, tag0: int) -> np.ndarray:
+        """One neighbor-communication phase: isend/irecv all faces, waitall."""
+        MPI = ctx.MPI
+        world = MPI.COMM_WORLD
+        n = self.n_halo
+        recvs = [np.zeros(n) for _ in self.halo_pairs]
+        reqs = []
+        for face, (dst, src) in enumerate(self.halo_pairs):
+            reqs.append(
+                MPI.irecv(recvs[face], n, MPI.DOUBLE, src, tag0 + face, world)
+            )
+        for face, (dst, src) in enumerate(self.halo_pairs):
+            reqs.append(
+                MPI.isend(payload, n, MPI.DOUBLE, dst, tag0 + face, world)
+            )
+        MPI.waitall(reqs)
+        acc = np.zeros(n)
+        for r in recvs:
+            acc += r
+        return acc
+
+    def block(self, ctx, it: int) -> None:
+        MPI = ctx.MPI
+        world = MPI.COMM_WORLD
+        ctx.compute(self.spec.compute_per_block)
+
+        # Forward comm (positions out), force computation, reverse comm.
+        ghosts = self._exchange(ctx, self.x[: self.n_halo], 200)
+        self.f[: self.n_halo] = np.tanh(ghosts) * 1e-3
+        back = self._exchange(ctx, self.f[: self.n_halo], 300)
+        self.x[: self.n_halo] += back * 1e-6
+        self.checksum += self._mix(self.x)
+
+        local = np.array([float(np.abs(self.x).sum())])
+        total = np.zeros(1)
+        MPI.allreduce(local, total, 1, MPI.DOUBLE, MPI.SUM, world)
+
+        if it % 5 == 0:
+            thermo = np.array([total[0], float(it), 0.0])
+            MPI.bcast(thermo, 3, MPI.DOUBLE, 0, world)
+            self.thermo.append(float(thermo[0]))
+
+    def validate(self, ctx) -> str:
+        if self.blocks_done != self.spec.blocks:
+            return (
+                f"lammps finished {self.blocks_done}/{self.spec.blocks} blocks"
+            )
+        expected_thermo = (self.spec.blocks + 4) // 5
+        if len(self.thermo) != expected_thermo:
+            return (
+                f"lammps thermo entries {len(self.thermo)} != "
+                f"{expected_thermo}"
+            )
+        return None

@@ -1,0 +1,13 @@
+"""The simulated interconnect.
+
+This package stands in for the real network (TCP on Discovery,
+Slingshot-11 on Perlmutter) plus the MPI progress engine's matching
+logic.  It deliberately has the one property that forces MANA's design:
+its state (messages in flight) *cannot be checkpointed* — a checkpoint
+must first drain it, exactly as Section 5's required-function list
+(``MPI_Iprobe``/``MPI_Recv``/``MPI_Test``) implies.
+"""
+
+from repro.fabric.network import Fabric, Message, ProbeResult
+
+__all__ = ["Fabric", "Message", "ProbeResult"]

@@ -1,0 +1,24 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Entry points (one per experiment; see DESIGN.md §3 for the index):
+
+* :func:`repro.harness.experiments.table1` / ``table2`` — input tables;
+* :func:`repro.harness.experiments.figure2` — MPICH vs Open MPI runtimes;
+* :func:`repro.harness.experiments.figure3` — ExaMPI runtimes;
+* :func:`repro.harness.experiments.figure4` — Cray MPI on Perlmutter;
+* :func:`repro.harness.experiments.section63` — context-switch rates;
+* :func:`repro.harness.experiments.table3` — checkpoint times/sizes;
+* :func:`repro.harness.experiments.cross_impl_restart` — §3.6/§9;
+* :func:`repro.harness.experiments.ablation_ggid` — eager/lazy/hybrid;
+* :func:`repro.harness.experiments.ablation_vid_lookup` — old vs new
+  virtual-id translation.
+
+Every experiment runs at a configurable ``scale`` (fraction of the
+paper's blocks/ranks) so the benchmark suite stays tractable; shapes are
+scale-invariant because the calibration targets per-rank *rates*.
+"""
+
+from repro.harness.runner import CaseResult, run_case
+from repro.harness import experiments
+
+__all__ = ["CaseResult", "run_case", "experiments"]

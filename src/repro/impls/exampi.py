@@ -1,0 +1,183 @@
+"""Simulated ExaMPI: enum datatypes, lazy shared-pointer constants, subset.
+
+ExaMPI (Skjellum et al.) is the experimental C++ MPI used for algorithm
+research.  The properties the paper highlights, all reproduced:
+
+* **Primitive datatypes are an enum class**: the handle of MPI_INT is a
+  small integer enum value, not a pointer and not an MPICH-style tagged
+  id.  Derived datatypes and the other object kinds are pointers.
+* **Global constants are lazy**: ExaMPI builds constants from smart
+  shared pointers with reinterpret casts, so "the address of a constant
+  is known relatively late at runtime, on a lazy basis" (§4.3).  Here,
+  resolving a constant *creates* its backing object on first touch.
+* **Aliasing**: MPI_INT8_T and MPI_CHAR share one pointer (likewise
+  MPI_UINT8_T and MPI_BYTE).  MANA must not assume distinct constants
+  have distinct physical ids.
+* **Subset implementation**: several MPI-3 functions are simply absent;
+  calling one raises :class:`UnsupportedFunctionError`.  The paper's §5
+  core subset (Iprobe/Recv/Test/Send/Alltoall/Comm_group/
+  Group_translate_ranks/Type_get_envelope/Type_get_contents) is always
+  present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.impls.openmpi import PointerHandleSpace
+from repro.mpi import constants as C
+from repro.mpi.api import BaseMpiLib, HandleKind, HandleSpace
+from repro.mpi.objects import DatatypeObject
+from repro.util.errors import InvalidHandleError, MpiError
+from repro.util.rng import DeterministicRng
+
+# The enum class of primitive datatypes: name -> enum value.  Fixed order
+# (it is part of ExaMPI's source), so enum values are session-stable —
+# unlike the pointers backing them.  Values start at 1 so that 0 remains
+# the null handle.
+PRIMITIVE_ENUM = {
+    name: i + 1 for i, name in enumerate(C.PREDEFINED_DATATYPES)
+}
+ENUM_PRIMITIVE = {v: k for k, v in PRIMITIVE_ENUM.items()}
+
+
+class ExampiHandleSpace(PointerHandleSpace):
+    """Pointers for everything *except* primitive datatypes, which are
+    enum values below ``len(PRIMITIVE_ENUM)``."""
+
+    handle_bits = 64
+
+    def __init__(self, rng: DeterministicRng):
+        super().__init__(rng)
+        # enum value -> DatatypeObject, populated lazily by the library.
+        self._enum_objects: Dict[int, object] = {}
+
+    def insert_enum_datatype(self, enum_value: int, obj) -> int:
+        self._enum_objects[enum_value] = obj
+        return enum_value
+
+    def resolve(self, kind: str, handle: int):
+        if kind == HandleKind.DATATYPE and 1 <= handle <= len(PRIMITIVE_ENUM):
+            obj = self._enum_objects.get(handle)
+            if obj is None:
+                raise InvalidHandleError(
+                    f"primitive enum {handle} "
+                    f"({ENUM_PRIMITIVE.get(handle, '?')}) not yet resolved "
+                    f"(ExaMPI constants are lazy)"
+                )
+            return obj
+        return super().resolve(kind, handle)
+
+    def remove(self, kind: str, handle: int) -> None:
+        if kind == HandleKind.DATATYPE and 1 <= handle <= len(PRIMITIVE_ENUM):
+            raise InvalidHandleError(
+                f"cannot free primitive enum datatype {handle}"
+            )
+        super().remove(kind, handle)
+
+
+class ExaMpiLib(BaseMpiLib):
+    """ExaMPI (git developer branch, August 2023, per Section 6)."""
+
+    name = "exampi"
+
+    # The functions ExaMPI does not provide.  Applications restricted to
+    # the remaining surface are the "subset of applications known to be
+    # compatible" that Section 6 tests (CoMD, LAMMPS, LULESH proxies).
+    UNSUPPORTED = frozenset(
+        {
+            "cart_create",
+            "cart_coords",
+            "cart_rank",
+            "cart_shift",
+            "alltoallv",
+            "exscan",
+            "reduce_scatter_block",
+            "gatherv",
+            "scatterv",
+            "allgatherv",
+            "type_indexed",
+            "type_dup",
+        }
+    )
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._lazy_resolved: Dict[str, int] = {}
+
+    def _make_handle_space(self) -> HandleSpace:
+        return ExampiHandleSpace(
+            DeterministicRng((self.epoch << 16) ^ (self.world_rank + 1) ^ 0xE7A, "exampi-heap")
+        )
+
+    def _create_builtins(self) -> None:
+        # ExaMPI resolves *nothing* at init: constants come into existence
+        # on first touch.  Only the world/self communicators exist after
+        # init (the runtime itself needs them).
+        from repro.mpi.group import GroupData
+        from repro.mpi.objects import CommObject
+
+        world = CommObject(
+            group=GroupData(tuple(range(self.nranks))),
+            context_id=self._world_context_id(),
+            my_world_rank=self.world_rank,
+            name="MPI_COMM_WORLD",
+        )
+        selfc = CommObject(
+            group=GroupData((self.world_rank,)),
+            context_id=self._self_context_id(),
+            my_world_rank=self.world_rank,
+            name="MPI_COMM_SELF",
+        )
+        self._register_constant("MPI_COMM_WORLD", HandleKind.COMM, world)
+        self._register_constant("MPI_COMM_SELF", HandleKind.COMM, selfc)
+
+    def constant(self, name: str) -> int:
+        """Lazy constant resolution with aliasing (§4.3)."""
+        if not self._initialized:
+            raise MpiError(
+                f"ExaMPI constant {name} touched before init", "MPI_ERR_OTHER"
+            )
+        if name in self._constants:
+            return self._constants[name]
+        if name in self._lazy_resolved:
+            return self._lazy_resolved[name]
+        canonical = C.EXAMPI_ALIASES.get(name, name)
+        handle = self._resolve_lazily(canonical)
+        # Record under both the alias and the canonical name: the two
+        # names now share one physical id.
+        self._lazy_resolved[name] = handle
+        self._lazy_resolved[canonical] = handle
+        return handle
+
+    def _resolve_lazily(self, name: str) -> int:
+        if name in self._lazy_resolved:
+            return self._lazy_resolved[name]
+        space: ExampiHandleSpace = self.handles  # type: ignore[assignment]
+        if name in C.PREDEFINED_DATATYPES:
+            obj = DatatypeObject(
+                descriptor=self._predefined_types[name],
+                committed=True,
+                predefined_name=name,
+            )
+            return space.insert_enum_datatype(PRIMITIVE_ENUM[name], obj)
+        if name in C.PREDEFINED_OPS:
+            from repro.mpi.api import _builtin_op_fn
+            from repro.mpi.objects import OpObject
+
+            obj = OpObject(
+                fn=_builtin_op_fn(name), commute=True, predefined_name=name
+            )
+            return self.handles.insert(HandleKind.OP, obj)
+        if name == "MPI_GROUP_EMPTY":
+            from repro.mpi.group import EMPTY_GROUP
+            from repro.mpi.objects import GroupObject
+
+            return self.handles.insert(
+                HandleKind.GROUP, GroupObject(EMPTY_GROUP)
+            )
+        raise MpiError(f"unknown ExaMPI constant {name!r}", "MPI_ERR_ARG")
+
+    def resolved_constant_names(self):
+        """Names touched so far (introspection for tests/benchmarks)."""
+        return sorted(set(self._constants) | set(self._lazy_resolved))

@@ -1,0 +1,112 @@
+"""The "mpi.h" facade — what an application compiles against.
+
+An application in this reproduction receives a single ``MPI`` object and
+calls ``MPI.send(...)``, reads ``MPI.COMM_WORLD``, etc.  Two facades
+exist with identical surface:
+
+* :class:`NativeFacade` (here) routes straight to one implementation's
+  library instance — a "native" run, no MANA;
+* :class:`repro.mana.wrappers.ManaFacade` routes every call through
+  MANA's wrapper functions, translating virtual and physical ids.
+
+Crucially, ``MPI.COMM_WORLD`` on the native facade is evaluated on every
+access (a macro expanding to a function call, Open MPI-style): whatever
+instability the implementation has in its constants is fully visible to
+native applications — and absorbed by MANA's facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mpi import constants as C
+from repro.mpi.api import BaseMpiLib, HandleKind
+
+# Facade attribute -> mpi.h constant name
+_CONSTANT_ATTRS = {
+    "COMM_WORLD": "MPI_COMM_WORLD",
+    "COMM_SELF": "MPI_COMM_SELF",
+    "GROUP_EMPTY": "MPI_GROUP_EMPTY",
+    **{name[len("MPI_"):]: name for name in C.PREDEFINED_DATATYPES},
+    **{name[len("MPI_"):]: name for name in C.PREDEFINED_OPS},
+}
+
+# Facade attribute -> null-handle kind
+_NULL_ATTRS = {
+    "COMM_NULL": HandleKind.COMM,
+    "GROUP_NULL": HandleKind.GROUP,
+    "DATATYPE_NULL": HandleKind.DATATYPE,
+    "OP_NULL": HandleKind.OP,
+    "REQUEST_NULL": HandleKind.REQUEST,
+}
+
+# Functions forwarded verbatim to the library.
+_FORWARDED = (
+    "init", "finalize", "initialized", "finalized", "abort", "wtime",
+    "get_processor_name",
+    "comm_rank", "comm_size", "comm_group", "comm_compare", "comm_dup",
+    "comm_split", "comm_split_type", "comm_create", "comm_free",
+    "group_size", "group_rank", "group_incl", "group_excl", "group_union",
+    "group_intersection", "group_difference", "group_translate_ranks",
+    "group_compare", "group_free",
+    "send", "recv", "isend", "irecv", "test", "wait", "waitall", "testall",
+    "iprobe", "probe", "sendrecv", "get_count",
+    "send_init", "recv_init", "start", "startall", "request_free",
+    "waitany", "testany", "pack", "unpack", "pack_size",
+    "barrier", "bcast", "reduce", "allreduce", "alltoall", "alltoallv",
+    "scan", "exscan", "reduce_scatter_block",
+    "gather", "gatherv", "scatter", "scatterv", "allgather", "allgatherv",
+    "type_contiguous", "type_vector", "type_indexed", "type_create_struct",
+    "type_dup", "type_commit", "type_free", "type_size", "type_get_extent",
+    "type_get_envelope", "type_get_contents",
+    "op_create", "op_free",
+    "cart_create", "cart_coords", "cart_rank", "cart_shift",
+    "comm_create_keyval", "comm_free_keyval", "comm_set_attr",
+    "comm_get_attr", "comm_delete_attr",
+)
+
+
+class FacadeBase:
+    """Shared scalar constants and introspection for both facades."""
+
+    COMM_TYPE_SHARED = C.COMM_TYPE_SHARED
+    ANY_SOURCE = C.ANY_SOURCE
+    ANY_TAG = C.ANY_TAG
+    PROC_NULL = C.PROC_NULL
+    UNDEFINED = C.UNDEFINED
+    IDENT = C.IDENT
+    CONGRUENT = C.CONGRUENT
+    SIMILAR = C.SIMILAR
+    UNEQUAL = C.UNEQUAL
+
+    @staticmethod
+    def dims_create(nnodes: int, ndims: int):
+        return BaseMpiLib.dims_create(nnodes, ndims)
+
+
+class NativeFacade(FacadeBase):
+    """Direct binding of an application to one MPI implementation."""
+
+    def __init__(self, lib: BaseMpiLib):
+        self._lib = lib
+
+    @property
+    def impl_name(self) -> str:
+        return self._lib.name
+
+    @property
+    def handle_bits(self) -> int:
+        return self._lib.handles.handle_bits
+
+    def __getattr__(self, attr: str) -> Any:
+        # Called only when normal lookup fails: constants and functions.
+        lib = object.__getattribute__(self, "_lib")
+        const = _CONSTANT_ATTRS.get(attr)
+        if const is not None:
+            return lib.constant(const)
+        kind = _NULL_ATTRS.get(attr)
+        if kind is not None:
+            return lib.null_handle(kind)
+        if attr in _FORWARDED:
+            return getattr(lib, attr)
+        raise AttributeError(f"MPI facade has no attribute {attr!r}")

@@ -1,0 +1,202 @@
+"""Simulated MPICH: 32-bit handles with a kind-tagged two-level table.
+
+Handle layout (32 bits), modelled on real MPICH's ``MPIR_Handle``:
+
+    [ category:2 | kind:4 | payload:26 ]
+
+* category 1 = builtin (predefined object; payload is a builtin index;
+  the resulting integers are **fixed at "compile time"** — identical in
+  every session, upper or lower half, before or after restart);
+* category 2 = dynamic; payload splits into a 10-bit first-level index
+  (the "page") and a 16-bit second-level index (the slot), mirroring the
+  2-layer table the paper compares to 2-level page tables;
+* category 0 with payload 0 = the null handle of that kind.
+
+Dynamic allocation starts at a page offset salted by the library epoch,
+so a restarted lower half hands out *different* physical ids for the
+same logical objects — the exact hazard MANA's virtual ids absorb.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.mpi.api import BaseMpiLib, HandleKind, HandleSpace
+from repro.util.bits import BitField
+from repro.util.errors import InvalidHandleError
+
+# Fixed kind codes (part of the "ABI", shared by the whole MPICH family).
+KIND_CODES = {
+    HandleKind.COMM: 0x1,
+    HandleKind.GROUP: 0x2,
+    HandleKind.DATATYPE: 0x3,
+    HandleKind.OP: 0x4,
+    HandleKind.REQUEST: 0x5,
+}
+CODE_KINDS = {v: k for k, v in KIND_CODES.items()}
+
+CATEGORY_NULL = 0
+CATEGORY_BUILTIN = 1
+CATEGORY_DYNAMIC = 2
+
+HANDLE_LAYOUT = BitField(32, [("category", 2), ("kind", 4), ("payload", 26)])
+DYNAMIC_LAYOUT = BitField(26, [("page", 10), ("slot", 16)])
+
+PAGE_SLOTS = 1 << 16
+NUM_PAGES = 1 << 10
+
+
+class TwoLevelHandleSpace(HandleSpace):
+    """The MPICH-family handle space: 32-bit ids, two-level object table."""
+
+    handle_bits = 32
+
+    def __init__(self, epoch: int = 0, builtin_salt: int = 0):
+        # builtin_salt distinguishes family members (Cray MPI uses
+        # different magic constants than stock MPICH) but is constant per
+        # implementation, keeping builtins session-stable.
+        self._builtin_salt = builtin_salt
+        self._builtin_counts: Dict[str, int] = {k: 0 for k in HandleKind.ALL}
+        self._builtins: Dict[int, object] = {}
+        # pages[kind] -> {page_index: [slot objects or None]}
+        self._pages: Dict[str, Dict[int, List[Optional[object]]]] = {
+            k: {} for k in HandleKind.ALL
+        }
+        self._free: Dict[str, List[Tuple[int, int]]] = {
+            k: [] for k in HandleKind.ALL
+        }
+        self._next: Dict[str, Tuple[int, int]] = {}
+        # Restarted instances allocate from a different starting page.
+        start_page = (epoch * 3 + 1) % (NUM_PAGES - 8)
+        for k in HandleKind.ALL:
+            self._next[k] = (start_page, 0)
+
+    # -- builtin handles ---------------------------------------------------
+    def _builtin_handle(self, kind: str, index: int) -> int:
+        return HANDLE_LAYOUT.pack(
+            category=CATEGORY_BUILTIN,
+            kind=KIND_CODES[kind],
+            payload=(index + self._builtin_salt) & ((1 << 26) - 1),
+        )
+
+    # -- HandleSpace contract ----------------------------------------------
+    def insert(self, kind: str, obj, builtin_name: Optional[str] = None) -> int:
+        if builtin_name is not None:
+            idx = self._builtin_counts[kind]
+            self._builtin_counts[kind] += 1
+            handle = self._builtin_handle(kind, idx)
+            self._builtins[handle] = obj
+            return handle
+        if self._free[kind]:
+            page, slot = self._free[kind].pop()
+        else:
+            page, slot = self._next[kind]
+            if slot + 1 >= PAGE_SLOTS:
+                self._next[kind] = ((page + 1) % NUM_PAGES, 0)
+            else:
+                self._next[kind] = (page, slot + 1)
+        table = self._pages[kind].setdefault(page, [None] * PAGE_SLOTS)
+        table[slot] = obj
+        return HANDLE_LAYOUT.pack(
+            category=CATEGORY_DYNAMIC,
+            kind=KIND_CODES[kind],
+            payload=DYNAMIC_LAYOUT.pack(page=page, slot=slot),
+        )
+
+    def _decode(self, kind: str, handle: int) -> dict:
+        if not 0 <= handle < (1 << 32):
+            raise InvalidHandleError(
+                f"{handle:#x} is not a 32-bit MPICH handle"
+            )
+        fields = HANDLE_LAYOUT.unpack(handle)
+        code = fields["kind"]
+        if code not in CODE_KINDS or CODE_KINDS[code] != kind:
+            raise InvalidHandleError(
+                f"handle {handle:#010x} is not a {kind} handle "
+                f"(kind code {code})"
+            )
+        return fields
+
+    def resolve(self, kind: str, handle: int):
+        fields = self._decode(kind, handle)
+        if fields["category"] == CATEGORY_BUILTIN:
+            try:
+                return self._builtins[handle]
+            except KeyError:
+                raise InvalidHandleError(
+                    f"unknown builtin handle {handle:#010x}"
+                ) from None
+        if fields["category"] != CATEGORY_DYNAMIC:
+            raise InvalidHandleError(f"null/invalid handle {handle:#010x}")
+        d = DYNAMIC_LAYOUT.unpack(fields["payload"])
+        table = self._pages[kind].get(d["page"])
+        obj = table[d["slot"]] if table is not None else None
+        if obj is None:
+            raise InvalidHandleError(
+                f"dangling {kind} handle {handle:#010x} "
+                f"(page {d['page']}, slot {d['slot']})"
+            )
+        return obj
+
+    def remove(self, kind: str, handle: int) -> None:
+        fields = self._decode(kind, handle)
+        if fields["category"] != CATEGORY_DYNAMIC:
+            raise InvalidHandleError(
+                f"cannot remove non-dynamic handle {handle:#010x}"
+            )
+        d = DYNAMIC_LAYOUT.unpack(fields["payload"])
+        table = self._pages[kind].get(d["page"])
+        if table is None or table[d["slot"]] is None:
+            raise InvalidHandleError(f"double free of {handle:#010x}")
+        table[d["slot"]] = None
+        self._free[kind].append((d["page"], d["slot"]))
+
+    def null_handle(self, kind: str) -> int:
+        return HANDLE_LAYOUT.pack(
+            category=CATEGORY_NULL, kind=KIND_CODES[kind], payload=0
+        )
+
+
+class MpichLib(BaseMpiLib):
+    """Stock MPICH (the cluster-provided MPICH-3.3.2 of Section 6)."""
+
+    name = "mpich"
+    BUILTIN_SALT = 0x400  # distinguishes family members' magic constants
+
+    def _make_handle_space(self) -> HandleSpace:
+        return TwoLevelHandleSpace(
+            epoch=self.epoch, builtin_salt=self.BUILTIN_SALT
+        )
+
+    def constant(self, name: str) -> int:
+        # MPICH-family constants are compile-time integers: resolving one
+        # does not require an initialized library (mpi.h literals).
+        try:
+            return self._constants[name]
+        except KeyError:
+            pass
+        # Pre-init access: compute the literal the header would contain.
+        # Builtin handles depend only on registration order, which is
+        # fixed, so the value can be computed without creating objects.
+        order = _builtin_registration_order()
+        if name not in order:
+            return super().constant(name)  # raises MpiError
+        kind, idx = order[name]
+        space: TwoLevelHandleSpace = self.handles  # type: ignore[assignment]
+        return space._builtin_handle(kind, idx)
+
+
+def _builtin_registration_order() -> Dict[str, Tuple[str, int]]:
+    """name -> (kind, builtin index) in the fixed registration order used
+    by BaseMpiLib._create_builtins (the simulated "mpi.h" ABI)."""
+    from repro.mpi import constants as C
+
+    order: Dict[str, Tuple[str, int]] = {}
+    order["MPI_COMM_WORLD"] = (HandleKind.COMM, 0)
+    order["MPI_COMM_SELF"] = (HandleKind.COMM, 1)
+    order["MPI_GROUP_EMPTY"] = (HandleKind.GROUP, 0)
+    for i, tname in enumerate(C.PREDEFINED_DATATYPES):
+        order[tname] = (HandleKind.DATATYPE, i)
+    for i, oname in enumerate(C.PREDEFINED_OPS):
+        order[oname] = (HandleKind.OP, i)
+    return order

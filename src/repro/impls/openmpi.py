@@ -1,0 +1,120 @@
+"""Simulated Open MPI: 64-bit pointer handles, constants as functions.
+
+An Open MPI handle *is* a pointer to the internal struct
+(``ompi_communicator_t *`` etc.).  We model that with a simulated heap:
+each library instance draws a randomized base address, and every object
+insertion "allocates a struct" at the next address.  Consequences the
+paper calls out, all reproduced here:
+
+* handles do not fit in 32 bits (they are addresses) — this is what
+  breaks MANA's legacy int-based virtual ids (Section 4.1, item 1);
+* ``MPI_COMM_WORLD`` is a macro expanding to a *function call* whose
+  return value is only known after library startup, differs between a
+  dynamically-linked upper half and a statically-linked lower half, and
+  differs before checkpoint vs after restart (Section 4.3) — here,
+  ``constant()`` raises until ``init()`` has run, and the returned
+  addresses change with every instance;
+* freed structs leave dangling pointers — resolving one raises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.mpi.api import BaseMpiLib, HandleKind, HandleSpace
+from repro.util.errors import InvalidHandleError, MpiError
+from repro.util.rng import DeterministicRng
+
+# Simulated sizeof() of the internal structs, for address spacing.
+STRUCT_SIZES = {
+    HandleKind.COMM: 0x300,
+    HandleKind.GROUP: 0x80,
+    HandleKind.DATATYPE: 0x180,
+    HandleKind.OP: 0x60,
+    HandleKind.REQUEST: 0xC0,
+}
+
+
+class PointerHandleSpace(HandleSpace):
+    """Handles are 64-bit addresses into a per-instance simulated heap."""
+
+    handle_bits = 64
+
+    def __init__(self, rng: DeterministicRng):
+        # A fresh, ASLR-style heap base per library instance: the property
+        # that makes physical ids unstable across sessions and restarts.
+        self._base = 0x7F00_0000_0000 + (rng.integers(1, 1 << 20) << 12)
+        self._brk = self._base
+        self._live: Dict[int, Tuple[str, object]] = {}
+
+    def insert(self, kind: str, obj, builtin_name: Optional[str] = None) -> int:
+        addr = self._brk
+        self._brk += STRUCT_SIZES[kind]
+        # Keep 16-byte alignment like a real allocator would.
+        self._brk = (self._brk + 0xF) & ~0xF
+        self._live[addr] = (kind, obj)
+        return addr
+
+    def resolve(self, kind: str, handle: int):
+        entry = self._live.get(handle)
+        if entry is None:
+            if self._base <= handle < self._brk:
+                raise InvalidHandleError(
+                    f"dangling pointer {handle:#x} (struct was freed)"
+                )
+            raise InvalidHandleError(
+                f"{handle:#x} is not a pointer into this library's heap "
+                f"[{self._base:#x}, {self._brk:#x})"
+            )
+        actual_kind, obj = entry
+        if actual_kind != kind:
+            raise InvalidHandleError(
+                f"pointer {handle:#x} is a {actual_kind} struct, "
+                f"not a {kind}"
+            )
+        return obj
+
+    def remove(self, kind: str, handle: int) -> None:
+        entry = self._live.get(handle)
+        if entry is None:
+            raise InvalidHandleError(f"double free of {handle:#x}")
+        if entry[0] != kind:
+            raise InvalidHandleError(
+                f"freeing {handle:#x} as {kind}, but it is a {entry[0]}"
+            )
+        del self._live[handle]
+
+    def null_handle(self, kind: str) -> int:
+        return 0  # NULL pointer, shared by all kinds
+
+
+class OpenMpiLib(BaseMpiLib):
+    """Open MPI 4.1.x as configured in Section 6 (built locally, TCP)."""
+
+    name = "openmpi"
+
+    def _make_handle_space(self) -> HandleSpace:
+        return PointerHandleSpace(
+            DeterministicRng(self._heap_seed(), "openmpi-heap")
+        )
+
+    def _heap_seed(self) -> int:
+        # Varies with epoch (session) and rank: every lower-half launch
+        # sees different constant addresses.
+        return (self.epoch << 16) ^ (self.world_rank + 1) ^ 0x0417
+
+    def constant(self, name: str) -> int:
+        """Open MPI constants are macros expanding to function calls.
+
+        They can only be evaluated after library startup — accessing one
+        before ``MPI_Init`` (in this simulation) raises, standing in for
+        the upper-half/lower-half value mismatch a compiled program
+        would experience.
+        """
+        if not self._initialized:
+            raise MpiError(
+                f"Open MPI constant {name} evaluated before library "
+                f"startup (constants are functions, resolved at init)",
+                "MPI_ERR_OTHER",
+            )
+        return super().constant(name)

@@ -1,0 +1,184 @@
+"""Checkpoint images: the serialized upper half.
+
+One image file per rank per generation, plus a job-level manifest.
+The per-rank payload is **one pickle**: the application object graph, the
+virtual-id table, the drain buffer, the resumable-loop tokens, the clock
+and RNG state.  Using a single pickle preserves object identity between,
+e.g., a pending-receive buffer referenced from a RequestRecord and the
+same numpy array inside the application state — they come back as one
+object, just as they were one region of upper-half memory in real MANA.
+
+Physical MPI ids are *not* in the image (VidEntry drops them when
+pickled); "MANA does not require a special data structure in the
+checkpoint image to identify these MANA-internal structures" — the
+records are simply part of the saved upper half.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.errors import CheckpointError, RestartError
+
+FORMAT_VERSION = 3
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class CheckpointImage:
+    """A loaded per-rank image."""
+
+    rank: int
+    nranks: int
+    impl: str
+    kind: str
+    generation: int
+    app: object
+    loops: Dict[str, int]
+    vid_table: object          # VirtualIdTable or LegacyVirtualIdMaps
+    drain_buffer: object       # DrainBuffer
+    clock_state: Dict
+    rng_state: Optional[Dict]
+    cs_count: int
+    epoch: int
+    # Size of the image file on disk (set by load_image; used for the
+    # restart-time model).  Not serialized.
+    stored_bytes: int = 0
+
+
+def generation_dir(base_dir: str, generation: int) -> str:
+    return os.path.join(base_dir, f"ckpt_{generation:04d}")
+
+
+def rank_image_path(base_dir: str, generation: int, rank: int) -> str:
+    return os.path.join(generation_dir(base_dir, generation), f"rank_{rank:05d}.img")
+
+
+def save_image(path: str, image: CheckpointImage) -> int:
+    """Write one rank's image; returns its size in bytes."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "rank": image.rank,
+        "nranks": image.nranks,
+        "impl": image.impl,
+        "kind": image.kind,
+        "generation": image.generation,
+        # One pickle for everything that shares objects:
+        "upper_half": {
+            "app": image.app,
+            "loops": image.loops,
+            "vid_table": image.vid_table,
+            "drain_buffer": image.drain_buffer,
+            "clock_state": image.clock_state,
+            "rng_state": image.rng_state,
+            "cs_count": image.cs_count,
+            "epoch": image.epoch,
+        },
+    }
+    try:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # unpicklable app state is a user error
+        raise CheckpointError(
+            f"rank {image.rank}: upper-half state is not serializable "
+            f"({exc}); application state must be plain data + numpy"
+        ) from exc
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(blob)
+    os.replace(tmp, path)  # atomic: no torn images
+    return len(blob)
+
+
+def load_image(path: str) -> CheckpointImage:
+    try:
+        stored_bytes = os.path.getsize(path)
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+    except FileNotFoundError:
+        raise RestartError(f"no checkpoint image at {path}") from None
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise RestartError(
+            f"{path}: image format {payload.get('format_version')} "
+            f"!= expected {FORMAT_VERSION}"
+        )
+    uh = payload["upper_half"]
+    return CheckpointImage(
+        rank=payload["rank"],
+        nranks=payload["nranks"],
+        impl=payload["impl"],
+        kind=payload["kind"],
+        generation=payload["generation"],
+        app=uh["app"],
+        loops=uh["loops"],
+        vid_table=uh["vid_table"],
+        drain_buffer=uh["drain_buffer"],
+        clock_state=uh["clock_state"],
+        rng_state=uh["rng_state"],
+        cs_count=uh["cs_count"],
+        epoch=uh["epoch"],
+        stored_bytes=stored_bytes,
+    )
+
+
+def write_manifest(
+    base_dir: str,
+    generation: int,
+    *,
+    nranks: int,
+    impl: str,
+    kind: str,
+    cold_restartable: bool,
+    loop_target: Optional[int],
+    extra: Optional[Dict] = None,
+) -> str:
+    """Job-level manifest, written once (by rank 0) per generation."""
+    d = generation_dir(base_dir, generation)
+    os.makedirs(d, exist_ok=True)
+    path = os.path.join(d, MANIFEST_NAME)
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "generation": generation,
+        "nranks": nranks,
+        "impl": impl,
+        "kind": kind,
+        "cold_restartable": cold_restartable,
+        "loop_target": loop_target,
+        "extra": extra or {},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+    return path
+
+
+def read_manifest(base_dir: str, generation: Optional[int] = None) -> Dict:
+    """Read a generation's manifest; latest generation when unspecified."""
+    if generation is None:
+        gens = latest_generations(base_dir)
+        if not gens:
+            raise RestartError(f"no checkpoints under {base_dir}")
+        generation = gens[-1]
+    path = os.path.join(generation_dir(base_dir, generation), MANIFEST_NAME)
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise RestartError(f"no manifest at {path}") from None
+
+
+def latest_generations(base_dir: str) -> List[int]:
+    """Sorted generation numbers present under ``base_dir``."""
+    if not os.path.isdir(base_dir):
+        return []
+    gens = []
+    for name in os.listdir(base_dir):
+        if name.startswith("ckpt_"):
+            try:
+                gens.append(int(name[len("ckpt_"):]))
+            except ValueError:
+                continue
+    return sorted(gens)

@@ -1,0 +1,490 @@
+"""The checkpoint coordinator — MANA's out-of-band control plane.
+
+Real MANA inherits a coordinator process from DMTCP: a socket-connected
+daemon that broadcasts checkpoint requests and sequences the global
+phases.  Here the coordinator is a shared object with reusable barriers;
+it carries *no application or MPI data* — everything payload-bearing
+flows through the lower-half MPI library, as in the real system.
+
+Two checkpoint kinds (DESIGN.md §1, restart modes):
+
+* ``IN_SESSION`` — ranks park at *any* wrapper safe point (any MPI call
+  boundary, or inside a compute region, standing in for MANA's
+  checkpoint signal).  Full fidelity for quiesce/drain/rebind; the
+  image is written but threads stay alive.
+* ``LOOP`` — ranks agree (via the coordinator's iteration election) on a
+  common future loop iteration and park exactly there; the image is
+  cold-restartable: a brand-new session can resume it.
+
+The coordinator also hosts the *trivial barrier* used by collective
+wrappers (two-phase collectives): ranks register arrival at
+(communicator key, sequence) and poll until the member set is complete,
+remaining responsive to checkpoint intent while they wait.  Arrival is
+idempotent, so a rank that detours into a checkpoint and comes back
+re-enters safely.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.simtime.cost import FilesystemProfile, checkpoint_time
+from repro.util.errors import CheckpointError
+
+
+class CheckpointKind:
+    IN_SESSION = "in-session"
+    LOOP = "loop"
+
+
+class CheckpointMode:
+    """What happens to the running job after the image is written."""
+
+    CONTINUE = "continue"    # keep the current lower half (DMTCP resume)
+    RELAUNCH = "relaunch"    # discard the lower half, replay into a new one
+    EXIT = "exit"            # preemption: unwind the job after saving
+
+
+@dataclass
+class CheckpointTicket:
+    """Handle returned to whoever requested a checkpoint."""
+
+    generation: int
+    kind: str
+    mode: str
+    _done: threading.Event = field(default_factory=threading.Event)
+    result: Dict = field(default_factory=dict)
+    error: Optional[BaseException] = None
+
+    def wait(self, timeout: float = 300.0) -> Dict:
+        if not self._done.wait(timeout):
+            raise CheckpointError("checkpoint did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class CheckpointCoordinator:
+    """Sequences the global checkpoint phases for one simulated job."""
+
+    def __init__(
+        self,
+        nranks: int,
+        ckpt_dir: str,
+        fs_profile: FilesystemProfile,
+        loop_lag_window: int = 4,
+    ):
+        self.nranks = nranks
+        self.ckpt_dir = ckpt_dir
+        self.fs_profile = fs_profile
+        self.loop_lag_window = loop_lag_window
+        self.generation = 0
+
+        self._lock = threading.Lock()
+        self._intent: Optional[CheckpointTicket] = None
+        self._aborted: Optional[BaseException] = None
+
+        # Phase barriers (reusable).  quiesce -> drained -> saved -> resumed.
+        self._bar_quiesce = threading.Barrier(nranks, action=self._on_quiesced)
+        self._bar_drained = threading.Barrier(nranks)
+        self._bar_saved = threading.Barrier(nranks, action=self._on_saved)
+        self._bar_resumed = threading.Barrier(nranks, action=self._on_resumed)
+
+        # Per-checkpoint scratch (filled by ranks, read by barrier actions).
+        self._rank_clocks: Dict[int, float] = {}
+        self._rank_bytes: Dict[int, int] = {}
+        self._ckpt_start_time = 0.0
+        self._ckpt_duration = 0.0
+
+        # LOOP-kind election state.
+        self._loop_target: Optional[int] = None
+        self._loop_name: Optional[str] = None
+
+        # Deferred triggers: arm a checkpoint when a loop reaches an
+        # iteration (deterministic alternative to wall-clock requests).
+        self._pending_triggers: list = []
+
+        # Interval checkpointing (production MANA's --ckpt-interval):
+        # a LOOP checkpoint fires whenever the reporting rank's virtual
+        # clock has advanced `interval` seconds past the last checkpoint.
+        self._interval: Optional[float] = None
+        self._interval_mode = CheckpointMode.CONTINUE
+        self._last_ckpt_vtime = 0.0
+        self.interval_tickets: list = []
+
+        # Trivial-barrier service: (comm_key, seq) -> set of arrived ranks.
+        self._tb_lock = threading.Lock()
+        self._tb_cv = threading.Condition(self._tb_lock)
+        self._tb_arrivals: Dict[Tuple, Set[int]] = {}
+
+        # Finalize tracking: once every rank reaches MPI_Finalize,
+        # checkpointing is disabled for good.
+        self._finalized: Set[int] = set()
+        self._ckpt_disabled = False
+
+    # ------------------------------------------------------------------
+    # request side
+    # ------------------------------------------------------------------
+    def request_checkpoint(
+        self,
+        kind: str = CheckpointKind.IN_SESSION,
+        mode: str = CheckpointMode.CONTINUE,
+    ) -> CheckpointTicket:
+        """Arm a checkpoint; ranks will notice at their next safe point."""
+        if kind not in (CheckpointKind.IN_SESSION, CheckpointKind.LOOP):
+            raise ValueError(f"unknown checkpoint kind {kind!r}")
+        if mode not in (
+            CheckpointMode.CONTINUE, CheckpointMode.RELAUNCH,
+            CheckpointMode.EXIT,
+        ):
+            raise ValueError(f"unknown checkpoint mode {mode!r}")
+        with self._lock:
+            self._raise_if_aborted()
+            if self._intent is not None:
+                raise CheckpointError(
+                    "a checkpoint is already in progress; wait for its "
+                    "ticket before requesting another"
+                )
+            self.generation += 1
+            ticket = CheckpointTicket(self.generation, kind, mode)
+            self._loop_target = None
+            self._loop_name = None
+            self._rank_clocks.clear()
+            self._rank_bytes.clear()
+            self._intent = ticket
+            return ticket
+
+    def checkpoint_at_iteration(
+        self,
+        loop_name: str,
+        iteration: int,
+        kind: str = CheckpointKind.IN_SESSION,
+        mode: str = CheckpointMode.CONTINUE,
+    ) -> CheckpointTicket:
+        """Arm a checkpoint that fires when any rank's resumable loop
+        ``loop_name`` first reaches ``iteration``.  Deterministic — no
+        wall-clock race with the job."""
+        with self._lock:
+            self._raise_if_aborted()
+            self.generation += 1
+            ticket = CheckpointTicket(self.generation, kind, mode)
+            self._pending_triggers.append(
+                {"loop": loop_name, "iteration": iteration, "ticket": ticket}
+            )
+            return ticket
+
+    def enable_interval_checkpoints(
+        self, interval: float, mode: str = CheckpointMode.CONTINUE
+    ) -> None:
+        """Arm periodic LOOP-kind checkpoints every ``interval`` virtual
+        seconds (measured on whichever rank reports progress first)."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        with self._lock:
+            self._interval = interval
+            self._interval_mode = mode
+
+    def note_loop_progress(
+        self, loop_name: str, iteration: int, vtime: Optional[float] = None
+    ) -> None:
+        """Called by ctx.loop at every iteration top (cheap when no
+        triggers are armed)."""
+        if not self._pending_triggers and self._interval is None:
+            return
+        with self._lock:
+            if self._intent is not None or self._ckpt_disabled:
+                return
+            for trig in self._pending_triggers:
+                if trig["loop"] == loop_name and iteration >= trig["iteration"]:
+                    self._pending_triggers.remove(trig)
+                    self._loop_target = None
+                    self._loop_name = None
+                    self._rank_clocks.clear()
+                    self._rank_bytes.clear()
+                    self._intent = trig["ticket"]
+                    return
+            if (
+                self._interval is not None
+                and vtime is not None
+                and vtime - self._last_ckpt_vtime >= self._interval
+            ):
+                self._last_ckpt_vtime = vtime
+                self.generation += 1
+                ticket = CheckpointTicket(
+                    self.generation, CheckpointKind.LOOP, self._interval_mode
+                )
+                self.interval_tickets.append(ticket)
+                self._loop_target = None
+                self._loop_name = None
+                self._rank_clocks.clear()
+                self._rank_bytes.clear()
+                self._intent = ticket
+
+    @property
+    def intent(self) -> Optional[CheckpointTicket]:
+        return self._intent
+
+    def intent_kind(self) -> Optional[str]:
+        t = self._intent
+        return None if t is None else t.kind
+
+    def should_park_now(self) -> bool:
+        """True when an IN_SESSION checkpoint wants this rank to park at
+        the current (arbitrary) safe point."""
+        if self._ckpt_disabled:
+            return False
+        t = self._intent
+        return t is not None and t.kind == CheckpointKind.IN_SESSION
+
+    def finalize_rank(self, rank: int, park_check) -> None:
+        """MPI_Finalize under MANA: the rank stays available for
+        checkpoints until *every* rank has finalized (the moral of real
+        MANA keeping its checkpoint thread alive until teardown).  When
+        the last rank arrives, checkpointing is disabled and any armed
+        but unstarted request is cancelled."""
+        import time as _time
+
+        while True:
+            with self._lock:
+                self._raise_if_aborted()
+                self._finalized.add(rank)
+                if len(self._finalized) == self.nranks:
+                    if not self._ckpt_disabled:
+                        self._ckpt_disabled = True
+                        tickets = [
+                            tr["ticket"] for tr in self._pending_triggers
+                        ]
+                        self._pending_triggers.clear()
+                        if self._intent is not None:
+                            tickets.append(self._intent)
+                            self._intent = None
+                        for t in tickets:
+                            if t.error is None:
+                                t.error = CheckpointError(
+                                    "checkpoint cancelled: all ranks "
+                                    "reached MPI_Finalize first"
+                                )
+                            t._done.set()
+                    return
+                if self._ckpt_disabled:
+                    return
+            park_check()
+            _time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    # LOOP-kind election
+    # ------------------------------------------------------------------
+    def loop_poll(self, loop_name: str, iteration: int) -> bool:
+        """Called by every rank at each resumable-loop iteration top.
+
+        Elects a common target iteration (first observer's iteration plus
+        the lag window) and returns True exactly when this rank should
+        park.  Requires the application's rank skew to stay below the lag
+        window (our proxy apps synchronize at least every few iterations).
+        """
+        t = self._intent
+        if t is None or t.kind != CheckpointKind.LOOP:
+            return False
+        with self._lock:
+            if self._intent is not t:  # completed meanwhile
+                return False
+            if self._loop_target is None:
+                self._loop_target = iteration + self.loop_lag_window
+                self._loop_name = loop_name
+            if self._loop_name != loop_name:
+                return False  # a different loop; not the elected one
+            if iteration > self._loop_target:
+                raise CheckpointError(
+                    f"rank skew exceeded the loop lag window: iteration "
+                    f"{iteration} > target {self._loop_target}; increase "
+                    f"loop_lag_window"
+                )
+            return iteration == self._loop_target
+
+    def loop_target(self) -> Optional[int]:
+        return self._loop_target
+
+    def loop_cancel(self, reason: str) -> None:
+        """Cancel a LOOP-kind checkpoint that can no longer be honored
+        (the elected iteration lies beyond the loop's end).  Idempotent;
+        every rank takes this path because loop bounds are uniform."""
+        with self._lock:
+            t = self._intent
+            if t is None or t.kind != CheckpointKind.LOOP:
+                return
+            self._intent = None
+            self._loop_target = None
+            self._loop_name = None
+            if t.error is None:
+                t.error = CheckpointError(f"loop checkpoint cancelled: {reason}")
+            t._done.set()
+
+    # ------------------------------------------------------------------
+    # phase barriers (called from ManaRank.checkpoint_participate)
+    # ------------------------------------------------------------------
+    def quiesce(self, rank: int, clock_now: float) -> None:
+        with self._lock:
+            self._rank_clocks[rank] = clock_now
+        self._wait(self._bar_quiesce)
+
+    def drained(self) -> None:
+        self._wait(self._bar_drained)
+
+    def saved(self, rank: int, image_bytes: int) -> None:
+        with self._lock:
+            self._rank_bytes[rank] = image_bytes
+        self._wait(self._bar_saved)
+
+    def resumed(self) -> None:
+        self._wait(self._bar_resumed)
+
+    def checkpoint_timing(self) -> Tuple[float, float]:
+        """(global start time, duration) of the checkpoint in progress —
+        valid after the saved barrier."""
+        return self._ckpt_start_time, self._ckpt_duration
+
+    def _on_quiesced(self) -> None:
+        self._ckpt_start_time = max(self._rank_clocks.values())
+
+    def _on_saved(self) -> None:
+        sizes = list(self._rank_bytes.values())
+        mean = sum(sizes) / len(sizes) if sizes else 0
+        self._ckpt_duration = checkpoint_time(
+            self.fs_profile, self.nranks, int(mean)
+        )
+        t = self._intent
+        if t is not None:
+            t.result.update(
+                {
+                    "generation": t.generation,
+                    "kind": t.kind,
+                    "mode": t.mode,
+                    "bytes_per_rank": sizes,
+                    "mean_bytes_per_rank": mean,
+                    "ckpt_time": self._ckpt_duration,
+                    "mb_per_s_per_rank": (
+                        mean / self._ckpt_duration / 1e6
+                        if self._ckpt_duration > 0
+                        else float("inf")
+                    ),
+                    "loop_target": self._loop_target,
+                }
+            )
+
+    def _on_resumed(self) -> None:
+        with self._lock:
+            t = self._intent
+            self._intent = None
+        if t is not None:
+            t._done.set()
+
+    def _wait(self, barrier: threading.Barrier) -> None:
+        self._raise_if_aborted()
+        try:
+            barrier.wait(timeout=300.0)
+        except threading.BrokenBarrierError:
+            self._raise_if_aborted()
+            raise CheckpointError(
+                "checkpoint phase barrier broken (a rank died?)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # trivial-barrier service for two-phase collectives
+    # ------------------------------------------------------------------
+    def trivial_barrier(
+        self,
+        comm_key: Tuple,
+        seq: int,
+        rank: int,
+        member_world_ranks: Tuple[int, ...],
+        park_check: Callable[[], None],
+    ) -> None:
+        """Block until every member of the communicator has arrived at
+        collective #seq, staying responsive to checkpoint intent.
+
+        ``park_check`` is invoked while waiting; it may detour into a
+        full checkpoint (and return afterwards).  Arrival is recorded by
+        world rank and is idempotent.
+        """
+        key = (comm_key, seq)
+        members = set(member_world_ranks)
+        while True:
+            self._raise_if_aborted()
+            want_park = False
+            with self._tb_cv:
+                state = self._tb_arrivals.setdefault(
+                    key, {"arrived": set(), "committed": False}
+                )
+                state["arrived"].add(rank)
+                if state["committed"] or members.issubset(state["arrived"]):
+                    # Commit point: from here, *no* member may park for a
+                    # checkpoint before entering the collective — the
+                    # two-phase-commit guarantee that makes the critical
+                    # section deadlock-free.
+                    state["committed"] = True
+                    self._tb_cv.notify_all()
+                    stale = [
+                        k for k in self._tb_arrivals
+                        if k[0] == comm_key and k[1] < seq - 2
+                    ]
+                    for k in stale:
+                        del self._tb_arrivals[k]
+                    return
+                if (
+                    self._intent is not None
+                    and self._intent.kind == CheckpointKind.IN_SESSION
+                    and not self._ckpt_disabled
+                ):
+                    # Leave the barrier BEFORE parking so partners cannot
+                    # observe a full set that includes a parked rank.
+                    state["arrived"].discard(rank)
+                    want_park = True
+                else:
+                    self._tb_cv.notify_all()
+                    self._tb_cv.wait(timeout=0.002)
+            if want_park:
+                park_check()
+
+    def cancel_pending(self, reason: str) -> None:
+        """Fail any armed-but-unstarted checkpoint (e.g. the job finished
+        before any rank reached a safe point) and any unfired trigger."""
+        with self._lock:
+            tickets = [t["ticket"] for t in self._pending_triggers]
+            self._pending_triggers.clear()
+            if self._intent is not None:
+                tickets.append(self._intent)
+                self._intent = None
+            for t in tickets:
+                if t.error is None:
+                    t.error = CheckpointError(
+                        f"checkpoint cancelled: {reason}"
+                    )
+                t._done.set()
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def abort(self, exc: Optional[BaseException] = None) -> None:
+        with self._lock:
+            self._aborted = exc or CheckpointError("job aborted")
+            tickets = [tr["ticket"] for tr in self._pending_triggers]
+            self._pending_triggers.clear()
+            if self._intent is not None:
+                tickets.append(self._intent)
+            for t in tickets:
+                if t.error is None:
+                    t.error = self._aborted
+                t._done.set()
+        for b in (
+            self._bar_quiesce, self._bar_drained,
+            self._bar_saved, self._bar_resumed,
+        ):
+            b.abort()
+        with self._tb_cv:
+            self._tb_cv.notify_all()
+
+    def _raise_if_aborted(self) -> None:
+        if self._aborted is not None:
+            raise self._aborted

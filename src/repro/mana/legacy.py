@@ -1,0 +1,228 @@
+"""The OLD virtual-id design — the ablation baseline (paper Section 4.1).
+
+This reproduces the pre-2023 production MANA scheme and all four of the
+drawbacks the paper enumerates:
+
+1. **int-only virtual ids.**  Virtual ids are plain 32-bit integers.
+   When the target implementation declares 64-bit pointer handle types,
+   the design cannot represent them: :meth:`embed` raises
+   :class:`IncompatibleHandleError`.  (This is the concrete reason the
+   original MANA could not run Open MPI or ExaMPI applications.)
+2. **String-keyed per-type maps.**  Each MPI object kind has its own
+   singleton map, selected via a macro-encoded *string* key
+   (``"comm:<id>"`` etc.), so every translation performs string
+   construction + hashing — the overhead the new design's binary tags
+   eliminate (measured in the lookup ablation benchmark).
+3. **Metadata in separate maps.**  The record describing an object and
+   any MANA bookkeeping live in maps *separate* from the id translation
+   map, so retrieving both costs multiple lookups.
+4. **O(n) reverse translation.**  Physical-to-virtual translation scans
+   all values.
+
+The class is duck-type compatible with
+:class:`repro.mana.virtid.VirtualIdTable` so the wrapper layer runs
+unmodified against either design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional
+
+from repro.mana.records import CommRecord
+from repro.mana.virtid import VidEntry
+from repro.mpi.api import HandleKind
+from repro.mpi.group import ggid_of
+from repro.util.errors import IncompatibleHandleError, InvalidHandleError
+
+
+class LegacyVirtualIdMaps:
+    """Per-type string-keyed maps with int virtual ids (the old design)."""
+
+    design_name = "legacy"
+
+    def __init__(self, handle_bits: int = 32, ggid_policy: str = "eager",
+                 clock=None):
+        self.handle_bits = handle_bits
+        self.ggid_policy = ggid_policy  # accepted for interface parity
+        self.clock = clock
+        # One singleton map per type, string keyed (drawback 2).
+        self._id_maps: Dict[str, Dict[str, Optional[int]]] = {
+            k: {} for k in HandleKind.ALL
+        }
+        # Metadata lives apart from the translation maps (drawback 3).
+        self._record_maps: Dict[str, Dict[str, object]] = {
+            k: {} for k in HandleKind.ALL
+        }
+        self._const_maps: Dict[str, Dict[str, str]] = {
+            k: {} for k in HandleKind.ALL
+        }
+        self._constants: Dict[str, int] = {}
+        # Disjoint integer ranges per kind (the old MANA's per-type maps
+        # never shared callers, so ids never needed to be globally unique;
+        # here the scan-all-kinds lookup requires disjointness).
+        self._counters = {
+            k: itertools.count((i + 1) << 24)
+            for i, k in enumerate(HandleKind.ALL)
+        }
+        self._creation_seq = itertools.count(1)
+        self._creation: Dict[str, int] = {}
+        self.membership_incarnations: Dict[tuple, int] = {}
+        self.lookup_count = 0
+        # Wrapper-level attribute keyvals (MPI_Comm_create_keyval):
+        # persisted with the table so keyvals held in application state
+        # stay valid across cold restarts.
+        self.live_keyvals: set = set()
+        self.next_keyval: int = 1
+
+    # -- embedding ---------------------------------------------------------
+    def embed(self, vid: int) -> int:
+        if self.handle_bits != 32:
+            # Drawback 1, made concrete: an int virtual id cannot stand in
+            # for a 64-bit pointer-typed MPI object.
+            raise IncompatibleHandleError(
+                "legacy virtual ids are 32-bit ints and conflict with an "
+                "MPI implementation whose handle types are 64-bit "
+                "pointers (Open MPI / ExaMPI); use the new virtual-id "
+                "design"
+            )
+        return vid
+
+    @staticmethod
+    def extract(vhandle: int) -> int:
+        return vhandle
+
+    @staticmethod
+    def _skey(kind: str, vid: int) -> str:
+        # The macro-encoded string key of the old design.
+        return f"{kind}:{vid}"
+
+    # -- allocation ----------------------------------------------------------
+    def attach(
+        self,
+        kind: str,
+        record,
+        phys: Optional[int],
+        constant_name: Optional[str] = None,
+    ) -> int:
+        vid = next(self._counters[kind])
+        key = self._skey(kind, vid)
+        self._id_maps[kind][key] = phys
+        self._record_maps[kind][key] = record
+        self._creation[key] = next(self._creation_seq)
+        if constant_name is not None:
+            self._const_maps[kind][key] = constant_name
+            self._constants[constant_name] = vid
+        # Eager ggid only (the old design had no policy choice).
+        if kind == HandleKind.COMM and isinstance(record, CommRecord):
+            if record.ggid is None:
+                record.ggid = ggid_of(record.world_ranks)
+        return self.embed(vid)
+
+    # -- translation -----------------------------------------------------------
+    def lookup(self, vhandle: int, kind: Optional[str] = None) -> VidEntry:
+        self.lookup_count += 1
+        vid = self.extract(vhandle)
+        kinds = [kind] if kind is not None else list(HandleKind.ALL)
+        for k in kinds:
+            key = self._skey(k, vid)
+            if key in self._id_maps[k]:
+                # Two more lookups for metadata (drawback 3).
+                record = self._record_maps[k][key]
+                const = self._const_maps[k].get(key)
+                return VidEntry(
+                    vid=vid,
+                    kind=k,
+                    record=record,
+                    phys=self._id_maps[k][key],
+                    creation_seq=self._creation[key],
+                    constant_name=const,
+                )
+        raise InvalidHandleError(
+            f"unknown legacy virtual id {vid} (kind={kind})"
+        )
+
+    def phys(self, vhandle: int, kind: Optional[str] = None) -> int:
+        entry = self.lookup(vhandle, kind)
+        if entry.phys is None:
+            raise InvalidHandleError(
+                f"legacy vid {entry.vid} has no physical binding"
+            )
+        return entry.phys
+
+    def set_phys(self, vhandle: int, phys: Optional[int]) -> None:
+        vid = self.extract(vhandle)
+        for k in HandleKind.ALL:
+            key = self._skey(k, vid)
+            if key in self._id_maps[k]:
+                self._id_maps[k][key] = phys
+                return
+        raise InvalidHandleError(f"unknown legacy virtual id {vid}")
+
+    def vid_of_phys(self, kind: str, phys: int) -> Optional[int]:
+        """O(n) scan — drawback 4, verbatim."""
+        self.lookup_count += 1
+        for key, p in self._id_maps[kind].items():
+            if p == phys:
+                return self.embed(int(key.split(":", 1)[1]))
+        return None
+
+    def constant_vid(self, name: str) -> Optional[int]:
+        vid = self._constants.get(name)
+        return None if vid is None else self.embed(vid)
+
+    def remove(self, vhandle: int) -> None:
+        vid = self.extract(vhandle)
+        for k in HandleKind.ALL:
+            key = self._skey(k, vid)
+            if key in self._id_maps[k]:
+                del self._id_maps[k][key]
+                self._record_maps[k].pop(key, None)
+                const = self._const_maps[k].pop(key, None)
+                if const is not None:
+                    self._constants.pop(const, None)
+                self._creation.pop(key, None)
+                return
+        raise InvalidHandleError(f"double free of legacy vid {vid}")
+
+    # -- iteration / checkpoint -----------------------------------------------
+    def entries(self, kind: Optional[str] = None) -> Iterator[VidEntry]:
+        items = []
+        kinds = [kind] if kind is not None else list(HandleKind.ALL)
+        for k in kinds:
+            for key in self._id_maps[k]:
+                vid = int(key.split(":", 1)[1])
+                items.append(self.lookup(vid, k))
+        items.sort(key=lambda e: e.creation_seq)
+        return iter(items)
+
+    def finalize_ggids(self) -> int:
+        return 0  # legacy design is always eager
+
+    def rebuild_reverse(self) -> None:
+        pass  # no reverse map to rebuild (reverse is a scan)
+
+    def __len__(self) -> int:
+        return sum(len(m) for m in self._id_maps.values())
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Physical ids die with the lower half.
+        state["_id_maps"] = {
+            k: {key: None for key in m} for k, m in self._id_maps.items()
+        }
+        state["_counters"] = {
+            k: next(c) for k, c in self._counters.items()
+        }
+        state["_creation_seq"] = next(self._creation_seq)
+        state["clock"] = None
+        return state
+
+    def __setstate__(self, state):
+        counters = state.pop("_counters")
+        seq = state.pop("_creation_seq")
+        self.__dict__.update(state)
+        self._counters = {
+            k: itertools.count(v) for k, v in counters.items()
+        }
+        self._creation_seq = itertools.count(seq)

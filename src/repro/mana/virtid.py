@@ -1,0 +1,366 @@
+"""The NEW virtual-id architecture (paper Section 4.2).
+
+One table for all five MPI object kinds.  A virtual id is a 32-bit
+integer::
+
+    [ kind:3 | index:29 ]
+
+and is *embedded into the first 32 bits of whatever MPI object type the
+target implementation's mpi.h declares*:
+
+* 32-bit handle types (MPICH family): the virtual id IS the handle value
+  the application sees;
+* 64-bit handle types (Open MPI, ExaMPI pointers): the virtual id
+  occupies the low 32 bits, and the high 32 bits carry a MANA tag so a
+  stray physical pointer can never be mistaken for a virtual handle.
+
+For communicators (and groups) the index embeds the *ggid* — the global
+group id derived from world-rank membership — so a communicator's
+virtual id is identical on every member rank and across restarts.
+
+Each table entry carries the reconstruction record and MANA-internal
+metadata (drain counters, collective sequence numbers), eliminating the
+old design's per-datum side maps: one lookup returns everything
+(Section 4.1, problem 3).
+
+Ggid computation policy is pluggable (Section 9 future work): ``eager``
+computes the ggid at communicator creation, ``lazy`` defers it to
+checkpoint time, ``hybrid`` defers but caches by membership so
+create/free loops pay the hash at most once per distinct membership.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.mana.records import (
+    CommRecord,
+    ConstantRecord,
+    GroupRecord,
+)
+from repro.mpi.api import HandleKind
+from repro.mpi.group import ggid_of
+from repro.util.bits import BitField
+from repro.util.errors import InvalidHandleError
+from repro.util.rng import _stable_hash
+
+VID_LAYOUT = BitField(32, [("kind", 3), ("index", 29)])
+INDEX_MASK = (1 << 29) - 1
+
+KIND_TAGS = {
+    HandleKind.COMM: 1,
+    HandleKind.GROUP: 2,
+    HandleKind.DATATYPE: 3,
+    HandleKind.OP: 4,
+    HandleKind.REQUEST: 5,
+}
+TAG_KINDS = {v: k for k, v in KIND_TAGS.items()}
+
+#: High-word tag for 64-bit embeddings: "MANA" in ASCII.
+MANA_MAGIC = 0x4D414E41
+
+#: Cost (virtual seconds) of hashing one member world rank into a ggid —
+#: the unit the eager/lazy ggid ablation measures.
+GGID_HASH_COST_PER_RANK = 12e-9
+
+
+class GgidPolicy:
+    """When communicator ggids are computed (paper §9)."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+    HYBRID = "hybrid"
+    ALL = (EAGER, LAZY, HYBRID)
+
+
+@dataclass
+class VidEntry:
+    """One row of the virtual-id table.
+
+    ``phys`` is the current lower half's physical id — transient by
+    definition: it is dropped when the entry is pickled into a
+    checkpoint image and rebound by replay at restart.
+    """
+
+    vid: int             # full 32-bit virtual id (kind tag included)
+    kind: str
+    record: object       # reconstruction record (records.py)
+    phys: Optional[int]  # physical id in the CURRENT lower half
+    creation_seq: int
+    constant_name: Optional[str] = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["phys"] = None  # physical ids are meaningless after restart
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    @property
+    def index(self) -> int:
+        return self.vid & INDEX_MASK
+
+
+class VirtualIdTable:
+    """The single-table virtual-id manager (the paper's new design)."""
+
+    design_name = "new"
+
+    def __init__(
+        self,
+        handle_bits: int = 32,
+        ggid_policy: str = GgidPolicy.EAGER,
+        clock=None,
+    ):
+        if ggid_policy not in GgidPolicy.ALL:
+            raise ValueError(f"unknown ggid policy {ggid_policy!r}")
+        self.handle_bits = handle_bits
+        self.ggid_policy = ggid_policy
+        self.clock = clock  # charged for ggid hashing when set
+        self._entries: Dict[int, VidEntry] = {}
+        self._reverse: Dict[Tuple[str, int], int] = {}  # (kind, phys) -> vid
+        self._constants: Dict[str, int] = {}            # name -> vid
+        self._seq = itertools.count(1)
+        self._next_index: Dict[str, int] = {k: 1 for k in HandleKind.ALL}
+        self._ggid_cache: Dict[Tuple[int, ...], int] = {}  # hybrid policy
+        # Monotonic per-membership communicator incarnation counter: the
+        # dup_seq of a new communicator.  Monotonicity (never reset by
+        # comm_free) keeps (ggid, dup_seq) keys unique across create/free
+        # cycles — required by the two-phase collective barrier.  Stored
+        # here so it is checkpointed with the table.
+        self.membership_incarnations: Dict[Tuple[int, ...], int] = {}
+        # instrumentation for the lookup-cost ablation
+        self.lookup_count = 0
+        # Wrapper-level attribute keyvals (MPI_Comm_create_keyval):
+        # persisted with the table so keyvals held in application state
+        # stay valid across cold restarts.
+        self.live_keyvals: set = set()
+        self.next_keyval: int = 1
+
+    # ------------------------------------------------------------------
+    # embedding (paper §4.2: vid occupies the first 32 bits of the
+    # implementation's MPI object type)
+    # ------------------------------------------------------------------
+    def embed(self, vid: int) -> int:
+        """Wrap a 32-bit vid as a handle of the declared width."""
+        if self.handle_bits == 32:
+            return vid
+        return (MANA_MAGIC << 32) | vid
+
+    @staticmethod
+    def extract(vhandle: int) -> int:
+        """Recover the 32-bit vid from an application-held handle.
+
+        Accepts both widths regardless of the current implementation, so
+        upper-half memory checkpointed under a 32-bit-handle MPI can be
+        restarted under a 64-bit-handle MPI and vice versa.
+        """
+        if vhandle < 0:
+            raise InvalidHandleError(f"negative handle {vhandle}")
+        if vhandle < (1 << 32):
+            return vhandle
+        if (vhandle >> 32) != MANA_MAGIC:
+            raise InvalidHandleError(
+                f"{vhandle:#x} is not a MANA virtual handle "
+                f"(missing MANA tag in high word)"
+            )
+        return vhandle & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        kind: str,
+        record,
+        phys: Optional[int],
+        constant_name: Optional[str] = None,
+    ) -> int:
+        """Create an entry; returns the *embedded* virtual handle."""
+        index = self._pick_index(kind, record, constant_name)
+        vid = VID_LAYOUT.pack(kind=KIND_TAGS[kind], index=index)
+        if vid in self._entries:
+            raise InvalidHandleError(
+                f"virtual id {vid:#010x} collision ({kind})"
+            )
+        entry = VidEntry(
+            vid=vid,
+            kind=kind,
+            record=record,
+            phys=phys,
+            creation_seq=next(self._seq),
+            constant_name=constant_name,
+        )
+        self._entries[vid] = entry
+        if phys is not None:
+            self._reverse[(kind, phys)] = vid
+        if constant_name is not None:
+            self._constants[constant_name] = vid
+        return self.embed(vid)
+
+    def _pick_index(
+        self, kind: str, record, constant_name: Optional[str]
+    ) -> int:
+        if constant_name is not None:
+            # Constants get name-derived indices: stable across sessions
+            # and implementations (needed for cross-impl cold restart).
+            base = _stable_hash(f"const/{constant_name}") & INDEX_MASK
+            return self._probe(kind, base)
+        if kind == HandleKind.COMM and isinstance(record, CommRecord):
+            g = self._comm_ggid(record)
+            if g is not None:
+                base = (g ^ (record.dup_seq * 0x9E37)) & INDEX_MASK
+                return self._probe(kind, base)
+        if kind == HandleKind.GROUP and isinstance(record, GroupRecord):
+            base = ggid_of(record.world_ranks) & INDEX_MASK
+            self._charge_ggid(len(record.world_ranks))
+            return self._probe(kind, base)
+        # requests, datatypes, ops: sequential indices with reuse via probe
+        idx = self._next_index[kind]
+        self._next_index[kind] = (idx + 1) & INDEX_MASK or 1
+        return self._probe(kind, idx)
+
+    def _comm_ggid(self, record: CommRecord) -> Optional[int]:
+        """Apply the ggid policy at creation time."""
+        if self.ggid_policy == GgidPolicy.EAGER:
+            if record.ggid is None:
+                record.ggid = ggid_of(record.world_ranks)
+                self._charge_ggid(len(record.world_ranks))
+            return record.ggid
+        if self.ggid_policy == GgidPolicy.HYBRID:
+            cached = self._ggid_cache.get(record.world_ranks)
+            if cached is not None:
+                record.ggid = cached
+                return cached
+            return None  # first sight: defer to checkpoint time
+        return None  # lazy
+
+    def _charge_ggid(self, nranks: int) -> None:
+        if self.clock is not None:
+            self.clock.advance(GGID_HASH_COST_PER_RANK * nranks, "mana-ggid")
+
+    def _probe(self, kind: str, base: int) -> int:
+        """Linear probing for a free index (0 is reserved as null)."""
+        tag = KIND_TAGS[kind]
+        index = base or 1
+        for _ in range(1 << 16):
+            vid = VID_LAYOUT.pack(kind=tag, index=index)
+            if vid not in self._entries:
+                return index
+            index = (index + 1) & INDEX_MASK or 1
+        raise InvalidHandleError(f"virtual id space exhausted for {kind}")
+
+    def finalize_ggids(self) -> int:
+        """Checkpoint-time pass for lazy/hybrid policies: compute any
+        deferred ggids.  Returns how many were computed now."""
+        computed = 0
+        for entry in self._entries.values():
+            if entry.kind != HandleKind.COMM:
+                continue
+            rec = entry.record
+            if isinstance(rec, CommRecord) and rec.ggid is None:
+                rec.ggid = ggid_of(rec.world_ranks)
+                self._charge_ggid(len(rec.world_ranks))
+                computed += 1
+                if self.ggid_policy == GgidPolicy.HYBRID:
+                    self._ggid_cache[rec.world_ranks] = rec.ggid
+        return computed
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def lookup(self, vhandle: int, kind: Optional[str] = None) -> VidEntry:
+        """Virtual handle -> entry.  One lookup returns record, physical
+        id, and MANA metadata together (§4.1 problem 3, solved)."""
+        self.lookup_count += 1
+        vid = self.extract(vhandle)
+        entry = self._entries.get(vid)
+        if entry is None:
+            raise InvalidHandleError(
+                f"unknown virtual id {vid:#010x} "
+                f"(freed, or a physical id leaked into the upper half?)"
+            )
+        if kind is not None and entry.kind != kind:
+            raise InvalidHandleError(
+                f"virtual id {vid:#010x} is a {entry.kind}, not a {kind}"
+            )
+        return entry
+
+    def phys(self, vhandle: int, kind: Optional[str] = None) -> int:
+        entry = self.lookup(vhandle, kind)
+        if entry.phys is None:
+            raise InvalidHandleError(
+                f"virtual id {entry.vid:#010x} ({entry.kind}) has no "
+                f"physical binding — replay incomplete after restart?"
+            )
+        return entry.phys
+
+    def set_phys(self, vhandle: int, phys: Optional[int]) -> None:
+        entry = self.lookup(vhandle)
+        old = entry.phys
+        if old is not None:
+            self._reverse.pop((entry.kind, old), None)
+        entry.phys = phys
+        if phys is not None:
+            self._reverse[(entry.kind, phys)] = entry.vid
+
+    def vid_of_phys(self, kind: str, phys: int) -> Optional[int]:
+        """Reverse translation, O(1) in the new design (§4.1 problem 5:
+        the old design's was O(n)).  Returns an embedded handle."""
+        self.lookup_count += 1
+        vid = self._reverse.get((kind, phys))
+        return None if vid is None else self.embed(vid)
+
+    def constant_vid(self, name: str) -> Optional[int]:
+        vid = self._constants.get(name)
+        return None if vid is None else self.embed(vid)
+
+    def remove(self, vhandle: int) -> None:
+        vid = self.extract(vhandle)
+        entry = self._entries.pop(vid, None)
+        if entry is None:
+            raise InvalidHandleError(f"double free of virtual id {vid:#010x}")
+        if entry.phys is not None:
+            self._reverse.pop((entry.kind, entry.phys), None)
+        if entry.constant_name is not None:
+            self._constants.pop(entry.constant_name, None)
+
+    # ------------------------------------------------------------------
+    # iteration / checkpoint support
+    # ------------------------------------------------------------------
+    def entries(self, kind: Optional[str] = None) -> Iterator[VidEntry]:
+        """Entries in creation order (replay depends on this order)."""
+        for entry in sorted(
+            self._entries.values(), key=lambda e: e.creation_seq
+        ):
+            if kind is None or entry.kind == kind:
+                yield entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_reverse"] = {}  # physical ids die with the lower half
+        state["_seq"] = None
+        state["_seq_value"] = max(
+            (e.creation_seq for e in self._entries.values()), default=0
+        )
+        state["clock"] = None
+        return state
+
+    def __setstate__(self, state):
+        seq_value = state.pop("_seq_value", 0)
+        self.__dict__.update(state)
+        self._seq = itertools.count(seq_value + 1)
+
+    def rebuild_reverse(self) -> None:
+        """Recompute the reverse map after replay rebinds physical ids."""
+        self._reverse = {
+            (e.kind, e.phys): e.vid
+            for e in self._entries.values()
+            if e.phys is not None
+        }

@@ -1,0 +1,1600 @@
+"""MANA's wrapper (stub) functions — Figure 1's upper-half library.
+
+Every MPI call an application makes lands here.  A wrapper:
+
+1. checks for checkpoint intent (the safe-point mechanism);
+2. charges the split-process crossing cost (one fs-register switch pair
+   per lower-half entry, §6.3/§6.4) and one virtual-id translation;
+3. translates virtual handles to the current lower half's physical ids;
+4. calls the lower-half library;
+5. wraps any newly created physical object in a fresh virtual id with a
+   reconstruction record, and returns virtual handles to the app.
+
+Blocking operations never block inside the lower half: they are
+implemented as ``MPI_Iprobe``/``MPI_Test`` polling loops (this is what
+guarantees "no MPI process is blocked in a call to the lower half at the
+time of checkpoint", §2.1).  The *virtual* cost of polling is charged
+analytically — ``wait_time / poll_cycle`` extra crossings — so reported
+times are deterministic regardless of host scheduling, while still
+reproducing the mechanism behind Open MPI's higher overhead (slower
+network calls → longer waits → more polls, §6.1).
+
+Collectives are two-phase: a checkpoint-tolerant *trivial barrier*
+(hosted by the coordinator) followed by the real lower-half collective
+as a critical section.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.impls import make_lib
+from repro.impls.facade import _CONSTANT_ATTRS, _NULL_ATTRS, FacadeBase
+from repro.mana import checkpoint as ckpt
+from repro.mana import constants as mana_constants
+from repro.mana import replay as replay_mod
+from repro.mana.coordinator import (
+    CheckpointCoordinator,
+    CheckpointKind,
+    CheckpointMode,
+)
+from repro.mana.drain import DrainBuffer, run_drain
+from repro.mana.legacy import LegacyVirtualIdMaps
+from repro.mana.records import (
+    CommRecord,
+    ConstantRecord,
+    DatatypeRecord,
+    GroupRecord,
+    OpRecord,
+    RequestRecord,
+)
+from repro.mana.virtid import KIND_TAGS, VID_LAYOUT, VirtualIdTable
+from repro.mpi import constants as C
+from repro.mpi.api import BaseMpiLib, HandleKind
+from repro.mpi.datatypes import TypeDescriptor
+from repro.mpi.objects import CartInfo, Status
+from repro.simtime.clock import VirtualClock
+from repro.simtime.cost import CostModel
+from repro.util.errors import (
+    InvalidHandleError,
+    JobPreempted,
+    MpiError,
+    RestartError,
+)
+from repro.util.registry import USER_OPS
+
+_POLL_SLEEP = 0.0002  # real seconds between poll iterations
+_MAX_POLL_CHARGES = 100_000  # cap on analytically charged polls per wait
+
+
+class ManaRank:
+    """The per-rank MANA agent: lower half + virtual-id table + wrappers."""
+
+    def __init__(
+        self,
+        fabric,
+        rank: int,
+        clock: VirtualClock,
+        cost_model: CostModel,
+        impl_name: str,
+        coordinator: Optional[CheckpointCoordinator] = None,
+        vid_design: str = "new",
+        ggid_policy: str = "eager",
+        seed: int = 0,
+        ckpt_dir: str = "/tmp/mana-ckpt",
+        epoch: int = 0,
+    ):
+        self.fabric = fabric
+        self.rank = rank
+        self.clock = clock
+        self.cost_model = cost_model
+        self.impl_name = impl_name
+        self.coordinator = coordinator
+        self.vid_design = vid_design
+        self.seed = seed
+        self.ckpt_dir = ckpt_dir
+        self.epoch = epoch
+
+        self.lower: Optional[BaseMpiLib] = None
+        handle_bits = 32  # set for real at bootstrap
+        if vid_design == "new":
+            self.vids = VirtualIdTable(
+                handle_bits, ggid_policy=ggid_policy, clock=clock
+            )
+        elif vid_design == "legacy":
+            self.vids = LegacyVirtualIdMaps(handle_bits, clock=clock)
+        else:
+            raise ValueError(f"unknown virtual-id design {vid_design!r}")
+
+        self.drain_buffer = DrainBuffer()
+        self.cs_count = 0          # lower-half entries ("context switches")
+        self.wrapped_calls = 0
+        # Coarse-graining factor: one simulated MPI call stands for
+        # ``call_weight`` real calls (a simulated iteration is a *block*
+        # of real timesteps).  Crossing costs and CS counts scale by it;
+        # time-based poll charges do not (waits are already block-level
+        # aggregates).  See repro.apps.base.WorkloadSpec.
+        self.call_weight = 1
+        self._app = None           # the upper half (set by the runtime)
+        self._ctx = None
+        self._app_initialized = False
+        self._active_ticket = None
+        # Functions MANA itself called in the lower half during the most
+        # recent checkpoint (drain/save) or restart (replay).
+        self.last_internal_calls: dict = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> None:
+        """Launch the lower half: the 'small MPI application' of Figure 1
+        initializes the real MPI library before the upper half runs."""
+        self.lower = make_lib(
+            self.impl_name, self.fabric, self.rank, self.clock,
+            self.cost_model, epoch=self.epoch, seed=self.seed,
+        )
+        self.lower.init()
+        self.vids.handle_bits = self.lower.handles.handle_bits
+        # Eagerly bind MPI_COMM_WORLD: MANA itself needs it for the drain
+        # and the app will ask for it immediately anyway.
+        self._constant_handle("MPI_COMM_WORLD")
+
+    def attach_upper(self, app, ctx) -> None:
+        self._app = app
+        self._ctx = ctx
+
+    def restore_from_image(self, image: ckpt.CheckpointImage) -> None:
+        """Adopt a cold checkpoint image as this rank's upper half.
+
+        Called after :meth:`bootstrap`; replays the virtual-id table into
+        the fresh lower half.  All ranks must call this in lockstep.
+        """
+        self.vids = image.vid_table
+        self.vids.clock = self.clock
+        self.vids.handle_bits = self.lower.handles.handle_bits
+        self.drain_buffer = image.drain_buffer
+        self.cs_count = image.cs_count
+        self._app_initialized = True
+        replay_mod.replay_all(self)
+
+    # ------------------------------------------------------------------
+    # cost accounting / safe points
+    # ------------------------------------------------------------------
+    def _cross(self, n: int = 1, weighted: bool = True) -> None:
+        """Charge ``n`` lower-half crossings (fs-register switch pairs +
+        one virtual-id translation each).  ``weighted`` applies the
+        call-aggregation factor (a wrapped call represents
+        ``call_weight`` real calls); poll charges pass weighted=False
+        because waits are already block-level aggregates."""
+        if weighted:
+            n *= self.call_weight
+        self.cs_count += n
+        self.clock.advance(
+            n * self.cost_model.wrapper_crossing_cost(self.vids.design_name),
+            "mana-overhead",
+        )
+
+    def _enter(self) -> None:
+        """Top of every wrapper: safe point + one crossing."""
+        self.wrapped_calls += 1
+        self._maybe_checkpoint()
+        self._cross()
+
+    def _extra_lib_calls(self, n: int = 1) -> None:
+        """Charge ``n`` *additional* lower-half MPI calls per real call.
+
+        Blocking completions under MANA are wrapped as Iprobe/Test loops
+        (§2.1), so one application call becomes >= 2 library calls.  Each
+        extra call is a crossing (switch + vid) plus the implementation's
+        per-call software path — the mechanism behind §6.1's observation
+        that Open MPI's slower network calls raise MANA's overhead."""
+        self._cross(n)
+        self.clock.advance(
+            n * self.call_weight * self.cost_model.library_call_cost(),
+            "mana-overhead",
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        coord = self.coordinator
+        if coord is not None and coord.should_park_now():
+            self.checkpoint_participate()
+
+    def _charge_wait_polls(self, t_enter: float) -> None:
+        """Analytic polling cost: one extra crossing per poll cycle the
+        virtual wait spanned (MANA calls MPI_Test/MPI_Iprobe in a loop
+        while wrapping blocking completion)."""
+        wait = self.clock.now - t_enter
+        if wait <= 0:
+            return
+        n = min(int(wait / self.cost_model.mana.poll_cycle), _MAX_POLL_CHARGES)
+        if n > 0:
+            self._cross(n, weighted=False)
+
+    # ------------------------------------------------------------------
+    # translation helpers
+    # ------------------------------------------------------------------
+    def null_vhandle(self, kind: str) -> int:
+        if self.vids.design_name == "new":
+            return self.vids.embed(VID_LAYOUT.pack(kind=KIND_TAGS[kind], index=0))
+        return 0
+
+    def is_null_vhandle(self, vhandle: int) -> bool:
+        if self.vids.design_name == "new":
+            return (VirtualIdTable.extract(vhandle) & ((1 << 29) - 1)) == 0
+        return vhandle == 0
+
+    def _comm(self, vhandle: int):
+        return self.vids.lookup(vhandle, HandleKind.COMM)
+
+    def _dtype(self, vhandle: int):
+        return self.vids.lookup(vhandle, HandleKind.DATATYPE)
+
+    def descriptor_of(self, dt_entry) -> TypeDescriptor:
+        """Structural descriptor for a datatype entry (decoding it from
+        the lower half on first need)."""
+        rec = dt_entry.record
+        if isinstance(rec, ConstantRecord):
+            from repro.mpi.datatypes import NamedType
+
+            name = C.EXAMPI_ALIASES.get(rec.name, rec.name)
+            return NamedType(rec.name, C.PREDEFINED_DATATYPES[name])
+        if isinstance(rec, DatatypeRecord):
+            if rec.descriptor is None:
+                rec.descriptor = replay_mod.decode_datatype(
+                    self.lower, dt_entry.phys
+                )
+            return rec.descriptor
+        raise InvalidHandleError(
+            f"vid {dt_entry.vid:#x} is not a datatype"
+        )
+
+    def ensure_datatypes_decoded(self) -> None:
+        for entry in self.vids.entries(HandleKind.DATATYPE):
+            if isinstance(entry.record, DatatypeRecord):
+                if entry.record.descriptor is None and entry.phys is not None:
+                    entry.record.descriptor = replay_mod.decode_datatype(
+                        self.lower, entry.phys
+                    )
+
+    def _world_ranks_of_comm(self, comm_phys: int) -> Tuple[int, ...]:
+        """Membership of a physical communicator in comm-rank order,
+        obtained through §5 category-2 calls only."""
+        lib = self.lower
+        world_phys = lib.constant("MPI_COMM_WORLD")
+        g = lib.comm_group(comm_phys)
+        wg = lib.comm_group(world_phys)
+        n = lib.group_size(g)
+        world_ranks = lib.group_translate_ranks(g, list(range(n)), wg)
+        lib.group_free(g)
+        lib.group_free(wg)
+        return tuple(world_ranks)
+
+    def _dup_seq_for(self, world_ranks: Tuple[int, ...]) -> int:
+        """Disambiguator among comms with identical membership.
+
+        A monotonic incarnation number (never reset by comm_free):
+        communicator creation is collective, so every member rank
+        observes the same creation order and computes the same value —
+        and re-creating a freed communicator yields a FRESH (ggid,
+        dup_seq) identity, which the two-phase collective barrier and
+        the restart replay both rely on."""
+        incs = self.vids.membership_incarnations
+        n = incs.get(world_ranks, 0)
+        incs[world_ranks] = n + 1
+        return n
+
+    def _attach_comm(
+        self, phys: int, name: str = "",
+        cart: Optional[Tuple[Tuple[int, ...], Tuple[bool, ...]]] = None,
+    ) -> int:
+        world_ranks = self._world_ranks_of_comm(phys)
+        rec = CommRecord(
+            world_ranks=world_ranks,
+            ggid=None,  # policy decides (eager computes in attach)
+            dup_seq=self._dup_seq_for(world_ranks),
+            name=name,
+            cart=cart,
+        )
+        return self.vids.attach(HandleKind.COMM, rec, phys)
+
+    # ------------------------------------------------------------------
+    # constants (§4.3: constants as functions, lazy for ExaMPI)
+    # ------------------------------------------------------------------
+    def _constant_handle(self, name: str) -> int:
+        vh = self.vids.constant_vid(name)
+        if vh is not None:
+            entry = self.vids.lookup(vh)
+            if entry.phys is None:
+                # Rebind on demand (e.g. right after a restart).
+                entry.phys = self.lower.constant(name)
+            return vh
+        phys = self.lower.constant(name)
+        kind = mana_constants.constant_kind(name)
+        if kind is None:
+            raise MpiError(f"unknown constant {name!r}", "MPI_ERR_ARG")
+        if kind == HandleKind.COMM:
+            # Predefined communicators get full CommRecords: they carry
+            # drain counters and collective sequence numbers like any
+            # user communicator.
+            ranks = self._world_ranks_of_comm(phys)
+            rec: object = CommRecord(
+                world_ranks=ranks,
+                ggid=None,
+                dup_seq=self._dup_seq_for(ranks),
+                name=name,
+            )
+        else:
+            rec = ConstantRecord(name)
+        return self.vids.attach(kind, rec, phys, constant_name=name)
+
+    # ------------------------------------------------------------------
+    # environment wrappers
+    # ------------------------------------------------------------------
+    def init(self) -> None:
+        """The app's MPI_Init: the lower half is already initialized (it
+        is MANA's own small MPI program), so this is bookkeeping."""
+        self._enter()
+        self._app_initialized = True
+
+    def finalize(self) -> None:
+        self._enter()
+        self._app_initialized = False
+        if self.coordinator is not None:
+            # Stay checkpoint-available until every rank has finalized.
+            self.coordinator.finalize_rank(self.rank, self._maybe_checkpoint)
+
+    def initialized(self) -> bool:
+        return self._app_initialized
+
+    def finalized(self) -> bool:
+        return not self._app_initialized and self.lower is not None
+
+    def wtime(self) -> float:
+        return self.clock.now
+
+    def abort(self, comm_v: int, errorcode: int) -> None:
+        self._enter()
+        self.lower.abort(self.vids.phys(comm_v, HandleKind.COMM), errorcode)
+
+    def get_processor_name(self) -> str:
+        self._enter()
+        return self.lower.get_processor_name()
+
+    # ------------------------------------------------------------------
+    # communicator wrappers
+    # ------------------------------------------------------------------
+    def comm_rank(self, comm_v: int) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        rec = entry.record
+        if isinstance(rec, CommRecord):
+            # Served from MANA's own record (one lookup, no lower call
+            # needed — the §4.1-problem-3 win in action).
+            return rec.world_ranks.index(self.rank)
+        return self.lower.comm_rank(entry.phys)
+
+    def comm_size(self, comm_v: int) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        rec = entry.record
+        if isinstance(rec, CommRecord):
+            return len(rec.world_ranks)
+        return self.lower.comm_size(entry.phys)
+
+    def comm_group(self, comm_v: int) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        phys_group = self.lower.comm_group(entry.phys)
+        world_ranks = (
+            entry.record.world_ranks
+            if isinstance(entry.record, CommRecord)
+            else self._world_ranks_of_comm(entry.phys)
+        )
+        return self.vids.attach(
+            HandleKind.GROUP, GroupRecord(world_ranks), phys_group
+        )
+
+    def comm_compare(self, c1: int, c2: int) -> int:
+        self._enter()
+        return self.lower.comm_compare(
+            self.vids.phys(c1, HandleKind.COMM),
+            self.vids.phys(c2, HandleKind.COMM),
+        )
+
+    def comm_dup(self, comm_v: int) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        phys = self.lower.comm_dup(entry.phys)
+        return self._attach_comm(phys, name=f"dup({entry.record.name})")
+
+    def comm_split(self, comm_v: int, color: int, key: int) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        phys = self.lower.comm_split(entry.phys, color, key)
+        if self.lower.handles.is_null(HandleKind.COMM, phys):
+            return self.null_vhandle(HandleKind.COMM)
+        return self._attach_comm(phys, name=f"split({color})")
+
+    def comm_split_type(self, comm_v: int, split_type: int, key: int) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        phys = self.lower.comm_split_type(entry.phys, split_type, key)
+        if self.lower.handles.is_null(HandleKind.COMM, phys):
+            return self.null_vhandle(HandleKind.COMM)
+        return self._attach_comm(phys, name="split-type")
+
+    def comm_create(self, comm_v: int, group_v: int) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        gphys = self.vids.phys(group_v, HandleKind.GROUP)
+        self._two_phase(entry)
+        phys = self.lower.comm_create(entry.phys, gphys)
+        if self.lower.handles.is_null(HandleKind.COMM, phys):
+            return self.null_vhandle(HandleKind.COMM)
+        return self._attach_comm(phys, name="created")
+
+    def comm_free(self, comm_v: int) -> None:
+        self._enter()
+        entry = self._comm(comm_v)
+        if entry.constant_name is not None:
+            raise MpiError(
+                f"cannot free {entry.constant_name}", "MPI_ERR_COMM"
+            )
+        self._two_phase(entry)
+        self.lower.comm_free(entry.phys)
+        self.vids.remove(comm_v)
+
+    # ------------------------------------------------------------------
+    # group wrappers (local operations)
+    # ------------------------------------------------------------------
+    def _attach_group(self, phys: int) -> int:
+        lib = self.lower
+        wg = lib.comm_group(lib.constant("MPI_COMM_WORLD"))
+        n = lib.group_size(phys)
+        world_ranks = tuple(
+            lib.group_translate_ranks(phys, list(range(n)), wg)
+        )
+        lib.group_free(wg)
+        return self.vids.attach(HandleKind.GROUP, GroupRecord(world_ranks), phys)
+
+    def group_size(self, group_v: int) -> int:
+        self._enter()
+        return self.lower.group_size(self.vids.phys(group_v, HandleKind.GROUP))
+
+    def group_rank(self, group_v: int) -> int:
+        self._enter()
+        return self.lower.group_rank(self.vids.phys(group_v, HandleKind.GROUP))
+
+    def group_incl(self, group_v: int, ranks: Sequence[int]) -> int:
+        self._enter()
+        phys = self.lower.group_incl(
+            self.vids.phys(group_v, HandleKind.GROUP), ranks
+        )
+        return self._attach_group(phys)
+
+    def group_excl(self, group_v: int, ranks: Sequence[int]) -> int:
+        self._enter()
+        phys = self.lower.group_excl(
+            self.vids.phys(group_v, HandleKind.GROUP), ranks
+        )
+        return self._attach_group(phys)
+
+    def group_union(self, g1: int, g2: int) -> int:
+        self._enter()
+        phys = self.lower.group_union(
+            self.vids.phys(g1, HandleKind.GROUP),
+            self.vids.phys(g2, HandleKind.GROUP),
+        )
+        return self._attach_group(phys)
+
+    def group_intersection(self, g1: int, g2: int) -> int:
+        self._enter()
+        phys = self.lower.group_intersection(
+            self.vids.phys(g1, HandleKind.GROUP),
+            self.vids.phys(g2, HandleKind.GROUP),
+        )
+        return self._attach_group(phys)
+
+    def group_difference(self, g1: int, g2: int) -> int:
+        self._enter()
+        phys = self.lower.group_difference(
+            self.vids.phys(g1, HandleKind.GROUP),
+            self.vids.phys(g2, HandleKind.GROUP),
+        )
+        return self._attach_group(phys)
+
+    def group_translate_ranks(
+        self, g1: int, ranks: Sequence[int], g2: int
+    ) -> List[int]:
+        self._enter()
+        return self.lower.group_translate_ranks(
+            self.vids.phys(g1, HandleKind.GROUP),
+            ranks,
+            self.vids.phys(g2, HandleKind.GROUP),
+        )
+
+    def group_compare(self, g1: int, g2: int) -> int:
+        self._enter()
+        return self.lower.group_compare(
+            self.vids.phys(g1, HandleKind.GROUP),
+            self.vids.phys(g2, HandleKind.GROUP),
+        )
+
+    def group_free(self, group_v: int) -> None:
+        self._enter()
+        entry = self.vids.lookup(group_v, HandleKind.GROUP)
+        if entry.constant_name is not None:
+            raise MpiError("cannot free MPI_GROUP_EMPTY", "MPI_ERR_GROUP")
+        self.lower.group_free(entry.phys)
+        self.vids.remove(group_v)
+
+    # ------------------------------------------------------------------
+    # point-to-point wrappers
+    # ------------------------------------------------------------------
+    def _count_send(self, comm_entry, dest_comm_rank: int) -> None:
+        rec = comm_entry.record
+        if isinstance(rec, CommRecord):
+            w = rec.world_ranks[dest_comm_rank]
+            rec.sent_to[w] = rec.sent_to.get(w, 0) + 1
+
+    def _count_recv(self, comm_entry, src_comm_rank: int) -> None:
+        rec = comm_entry.record
+        if isinstance(rec, CommRecord) and src_comm_rank >= 0:
+            w = rec.world_ranks[src_comm_rank]
+            rec.received_from[w] = rec.received_from.get(w, 0) + 1
+
+    def send(
+        self, buf, count: int, dtype_v: int, dest: int, tag: int, comm_v: int
+    ) -> None:
+        self._enter()
+        if dest == C.PROC_NULL:
+            return
+        centry = self._comm(comm_v)
+        dentry = self._dtype(dtype_v)
+        self.lower.send(buf, count, dentry.phys, dest, tag, centry.phys)
+        self._count_send(centry, dest)
+
+    def _src_world(self, comm_entry, source: int) -> int:
+        if source == C.ANY_SOURCE:
+            return C.ANY_SOURCE
+        rec = comm_entry.record
+        if isinstance(rec, CommRecord):
+            return rec.world_ranks[source]
+        return source
+
+    def _recv_from_drain(
+        self, comm_entry, dt_entry, buf, count: int, source: int, tag: int
+    ) -> Optional[Status]:
+        msg = self.drain_buffer.match(
+            comm_entry.vid, self._src_world(comm_entry, source), tag
+        )
+        if msg is None:
+            return None
+        desc = self.descriptor_of(dt_entry)
+        desc.unpack(msg.payload, buf, count)
+        return Status(
+            source=msg.src_comm_rank, tag=msg.tag, count_bytes=msg.nbytes
+        )
+
+    def recv(
+        self, buf, count: int, dtype_v: int, source: int, tag: int,
+        comm_v: int,
+    ) -> Status:
+        self._enter()
+        if source == C.PROC_NULL:
+            return Status(source=C.PROC_NULL, tag=C.ANY_TAG)
+        t_enter = self.clock.now
+        while True:
+            centry = self._comm(comm_v)
+            dentry = self._dtype(dtype_v)
+            st = self._recv_from_drain(
+                centry, dentry, buf, count, source, tag
+            )
+            if st is not None:
+                return st
+            flag, pst = BaseMpiLib.iprobe.__wrapped__(
+                self.lower, source, tag, centry.phys
+            )
+            if flag:
+                st = self.lower.recv(
+                    buf, count, dentry.phys, pst.source, pst.tag, centry.phys
+                )
+                self._count_recv(centry, st.source)
+                self._extra_lib_calls(1)  # the Iprobe preceding the Recv
+                self._charge_wait_polls(t_enter)
+                return st
+            self._maybe_checkpoint()
+            _time.sleep(_POLL_SLEEP)
+            if self.fabric.aborted:
+                raise MpiError("job aborted during recv", "MPI_ERR_OTHER")
+
+    def isend(
+        self, buf, count: int, dtype_v: int, dest: int, tag: int, comm_v: int
+    ) -> int:
+        self._enter()
+        centry = self._comm(comm_v)
+        dentry = self._dtype(dtype_v)
+        if dest != C.PROC_NULL:
+            # The eager fabric completes sends at post time; MANA retires
+            # the lower request immediately and keeps a virtual one.
+            phys_req = self.lower.isend(
+                buf, count, dentry.phys, dest, tag, centry.phys
+            )
+            self.lower.wait(phys_req)
+            self._count_send(centry, dest)
+        rec = RequestRecord(
+            kind="send",
+            comm_vid=centry.vid,
+            peer=dest,
+            tag=tag,
+            count=count,
+            datatype_vid=dentry.vid,
+            completed=True,
+            status=Status(),
+        )
+        return self.vids.attach(HandleKind.REQUEST, rec, None)
+
+    def irecv(
+        self, buf, count: int, dtype_v: int, source: int, tag: int,
+        comm_v: int,
+    ) -> int:
+        self._enter()
+        centry = self._comm(comm_v)
+        dentry = self._dtype(dtype_v)
+        rec = RequestRecord(
+            kind="recv",
+            comm_vid=centry.vid,
+            peer=source,
+            tag=tag,
+            count=count,
+            datatype_vid=dentry.vid,
+            buf=buf,
+        )
+        # Drained messages take precedence over fresh lower-half posts:
+        # they are strictly older.
+        st = self._recv_from_drain(centry, dentry, buf, count, source, tag)
+        if st is not None:
+            rec.completed = True
+            rec.status = st
+            return self.vids.attach(HandleKind.REQUEST, rec, None)
+        phys = (
+            None
+            if source == C.PROC_NULL
+            else self.lower.irecv(
+                buf, count, dentry.phys, source, tag, centry.phys
+            )
+        )
+        if source == C.PROC_NULL:
+            rec.completed = True
+            rec.status = Status(source=C.PROC_NULL)
+        return self.vids.attach(HandleKind.REQUEST, rec, phys)
+
+    def send_init(
+        self, buf, count: int, dtype_v: int, dest: int, tag: int, comm_v: int
+    ) -> int:
+        self._enter()
+        centry = self._comm(comm_v)
+        dentry = self._dtype(dtype_v)
+        phys = self.lower.send_init(
+            buf, count, dentry.phys, dest, tag, centry.phys
+        )
+        rec = RequestRecord(
+            kind="send", comm_vid=centry.vid, peer=dest, tag=tag,
+            count=count, datatype_vid=dentry.vid, buf=buf, persistent=True,
+        )
+        return self.vids.attach(HandleKind.REQUEST, rec, phys)
+
+    def recv_init(
+        self, buf, count: int, dtype_v: int, source: int, tag: int,
+        comm_v: int,
+    ) -> int:
+        self._enter()
+        centry = self._comm(comm_v)
+        dentry = self._dtype(dtype_v)
+        phys = self.lower.recv_init(
+            buf, count, dentry.phys, source, tag, centry.phys
+        )
+        rec = RequestRecord(
+            kind="recv", comm_vid=centry.vid, peer=source, tag=tag,
+            count=count, datatype_vid=dentry.vid, buf=buf, persistent=True,
+        )
+        return self.vids.attach(HandleKind.REQUEST, rec, phys)
+
+    def start(self, request_v: int) -> None:
+        self._enter()
+        self._start_impl(request_v)
+
+    def _start_impl(self, request_v: int) -> None:
+        entry = self.vids.lookup(request_v, HandleKind.REQUEST)
+        rec: RequestRecord = entry.record
+        if not rec.persistent:
+            raise MpiError("MPI_Start on a non-persistent request",
+                           "MPI_ERR_REQUEST")
+        if rec.active:
+            raise MpiError("MPI_Start on an already-active request",
+                           "MPI_ERR_REQUEST")
+        rec.active = True
+        rec.completed = False
+        rec.status = None
+        centry = self.vids.lookup(
+            self.vids.embed(rec.comm_vid), HandleKind.COMM
+        )
+        if rec.kind == "recv":
+            dentry = self.vids.lookup(
+                self.vids.embed(rec.datatype_vid), HandleKind.DATATYPE
+            )
+            # Drained messages win over a fresh lower-half start.
+            st = self._recv_from_drain(
+                centry, dentry, rec.buf, rec.count, rec.peer, rec.tag
+            )
+            if st is not None:
+                rec.completed = True
+                rec.status = st
+                return
+            self.lower.start(entry.phys)
+        else:
+            self.lower.start(entry.phys)
+            # Eager fabric: the lower send completed at start time; cycle
+            # the lib request back to inactive so the next MPI_Start works.
+            BaseMpiLib.test.__wrapped__(self.lower, entry.phys)
+            if rec.peer != C.PROC_NULL:
+                self._count_send(centry, rec.peer)
+            rec.completed = True
+            rec.status = Status()
+
+    def startall(self, requests: Sequence[int]) -> None:
+        self._enter()
+        for r in requests:
+            self._start_impl(r)
+
+    def request_free(self, request_v: int) -> None:
+        self._enter()
+        entry = self.vids.lookup(request_v, HandleKind.REQUEST)
+        rec: RequestRecord = entry.record
+        if rec.active and not rec.completed:
+            raise MpiError("freeing an active persistent request",
+                           "MPI_ERR_REQUEST")
+        if entry.phys is not None:
+            self.lower.request_free(entry.phys)
+        self.vids.remove(request_v)
+
+    def test(self, request_v: int) -> Tuple[bool, Status]:
+        self._enter()
+        return self._test_impl(request_v)
+
+    def _finish_cycle(self, request_v: int, rec: RequestRecord,
+                      st: Status) -> Tuple[bool, Status]:
+        """Deliver a completion: persistent requests go inactive,
+        ordinary requests retire their virtual id."""
+        if rec.persistent:
+            rec.active = False
+            rec.completed = False
+            rec.status = None
+            return True, st
+        self.vids.remove(request_v)
+        return True, st
+
+    def _test_impl(self, request_v: int) -> Tuple[bool, Status]:
+        entry = self.vids.lookup(request_v, HandleKind.REQUEST)
+        rec: RequestRecord = entry.record
+        if rec.persistent and not rec.active:
+            return True, Status()  # inactive persistent: trivially done
+        if rec.completed:
+            return self._finish_cycle(request_v, rec, rec.status or Status())
+        if entry.phys is None:
+            # Pending but not posted in this lower half: the message can
+            # only be in the drain buffer.
+            centry = self.vids.lookup(
+                self.vids.embed(rec.comm_vid), HandleKind.COMM
+            )
+            dentry = self.vids.lookup(
+                self.vids.embed(rec.datatype_vid), HandleKind.DATATYPE
+            )
+            st = self._recv_from_drain(
+                centry, dentry, rec.buf, rec.count, rec.peer, rec.tag
+            )
+            if st is None:
+                return False, Status()
+            return self._finish_cycle(request_v, rec, st)
+        flag, st = BaseMpiLib.test.__wrapped__(self.lower, entry.phys)
+        if not flag:
+            return False, Status()
+        centry = self.vids.lookup(
+            self.vids.embed(rec.comm_vid), HandleKind.COMM
+        )
+        if rec.kind == "recv":
+            self._count_recv(centry, st.source)
+        return self._finish_cycle(request_v, rec, st)
+
+    def wait(self, request_v: int) -> Status:
+        self._enter()
+        t_enter = self.clock.now
+        while True:
+            flag, st = self._test_impl(request_v)
+            if flag:
+                self._extra_lib_calls(1)  # the MPI_Test that completed it
+                self._charge_wait_polls(t_enter)
+                return st
+            self._maybe_checkpoint()
+            _time.sleep(_POLL_SLEEP)
+            if self.fabric.aborted:
+                raise MpiError("job aborted during wait", "MPI_ERR_OTHER")
+
+    def waitall(self, requests: Sequence[int]) -> List[Status]:
+        self._enter()
+        t_enter = self.clock.now
+        statuses: List[Optional[Status]] = [None] * len(requests)
+        pending = set(range(len(requests)))
+        while pending:
+            progressed = False
+            for i in list(pending):
+                flag, st = self._test_impl(requests[i])
+                if flag:
+                    statuses[i] = st
+                    pending.discard(i)
+                    progressed = True
+            if pending and not progressed:
+                self._maybe_checkpoint()
+                _time.sleep(_POLL_SLEEP)
+                if self.fabric.aborted:
+                    raise MpiError(
+                        "job aborted during waitall", "MPI_ERR_OTHER"
+                    )
+        self._extra_lib_calls(len(requests))
+        self._charge_wait_polls(t_enter)
+        return [s if s is not None else Status() for s in statuses]
+
+    def testall(self, requests: Sequence[int]) -> Tuple[bool, List[Status]]:
+        self._enter()
+        # Progress every incomplete request; completion is recorded in
+        # the records, but virtual ids are only retired when ALL complete
+        # (matching MPI_Testall's all-or-nothing contract).
+        all_done = True
+        for r in requests:
+            entry = self.vids.lookup(r, HandleKind.REQUEST)
+            rec: RequestRecord = entry.record
+            if rec.completed or (rec.persistent and not rec.active):
+                continue
+            if entry.phys is None:
+                centry = self.vids.lookup(
+                    self.vids.embed(rec.comm_vid), HandleKind.COMM
+                )
+                dentry = self.vids.lookup(
+                    self.vids.embed(rec.datatype_vid), HandleKind.DATATYPE
+                )
+                st = self._recv_from_drain(
+                    centry, dentry, rec.buf, rec.count, rec.peer, rec.tag
+                )
+                if st is not None:
+                    rec.completed = True
+                    rec.status = st
+                else:
+                    all_done = False
+                continue
+            flag, st = BaseMpiLib.test.__wrapped__(self.lower, entry.phys)
+            if flag:
+                rec.completed = True
+                rec.status = st
+                if not rec.persistent:
+                    self.vids.set_phys(r, None)
+                centry = self.vids.lookup(
+                    self.vids.embed(rec.comm_vid), HandleKind.COMM
+                )
+                if rec.kind == "recv":
+                    self._count_recv(centry, st.source)
+            else:
+                all_done = False
+        if not all_done:
+            return False, []
+        statuses = []
+        for r in list(requests):
+            flag, st = self._test_impl(r)
+            statuses.append(st)
+        return True, statuses
+
+    def waitany(self, requests: Sequence[int]) -> Tuple[int, Status]:
+        self._enter()
+        if not requests:
+            raise MpiError("waitany on empty request list", "MPI_ERR_REQUEST")
+        t_enter = self.clock.now
+        while True:
+            for i, r in enumerate(requests):
+                flag, st = self._test_impl(r)
+                if flag:
+                    self._extra_lib_calls(1)
+                    self._charge_wait_polls(t_enter)
+                    return i, st
+            self._maybe_checkpoint()
+            _time.sleep(_POLL_SLEEP)
+            if self.fabric.aborted:
+                raise MpiError("job aborted during waitany", "MPI_ERR_OTHER")
+
+    def testany(self, requests: Sequence[int]) -> Tuple[bool, int, Status]:
+        self._enter()
+        for i, r in enumerate(requests):
+            flag, st = self._test_impl(r)
+            if flag:
+                return True, i, st
+        return False, C.UNDEFINED, Status()
+
+    def pack(self, inbuf, incount: int, dtype_v: int, outbuf,
+             position: int) -> int:
+        self._enter()
+        return self.lower.pack(
+            inbuf, incount, self.vids.phys(dtype_v, HandleKind.DATATYPE),
+            outbuf, position,
+        )
+
+    def unpack(self, inbuf, position: int, outbuf, outcount: int,
+               dtype_v: int) -> int:
+        self._enter()
+        return self.lower.unpack(
+            inbuf, position, outbuf, outcount,
+            self.vids.phys(dtype_v, HandleKind.DATATYPE),
+        )
+
+    def pack_size(self, incount: int, dtype_v: int) -> int:
+        self._enter()
+        return self.lower.pack_size(
+            incount, self.vids.phys(dtype_v, HandleKind.DATATYPE)
+        )
+
+    def iprobe(self, source: int, tag: int, comm_v: int) -> Tuple[bool, Status]:
+        self._enter()
+        centry = self._comm(comm_v)
+        msg = self.drain_buffer.match(
+            centry.vid, self._src_world(centry, source), tag, remove=False
+        )
+        if msg is not None:
+            return True, Status(
+                source=msg.src_comm_rank, tag=msg.tag, count_bytes=msg.nbytes
+            )
+        return self.lower.iprobe(source, tag, centry.phys)
+
+    def probe(self, source: int, tag: int, comm_v: int) -> Status:
+        self._enter()
+        t_enter = self.clock.now
+        while True:
+            centry = self._comm(comm_v)
+            msg = self.drain_buffer.match(
+                centry.vid, self._src_world(centry, source), tag, remove=False
+            )
+            if msg is not None:
+                return Status(
+                    source=msg.src_comm_rank, tag=msg.tag,
+                    count_bytes=msg.nbytes,
+                )
+            flag, st = BaseMpiLib.iprobe.__wrapped__(
+                self.lower, source, tag, centry.phys
+            )
+            if flag:
+                self._extra_lib_calls(1)
+                self._charge_wait_polls(t_enter)
+                return st
+            self._maybe_checkpoint()
+            _time.sleep(_POLL_SLEEP)
+            if self.fabric.aborted:
+                raise MpiError("job aborted during probe", "MPI_ERR_OTHER")
+
+    def sendrecv(
+        self,
+        sendbuf, sendcount: int, sendtype_v: int, dest: int, sendtag: int,
+        recvbuf, recvcount: int, recvtype_v: int, source: int, recvtag: int,
+        comm_v: int,
+    ) -> Status:
+        self.send(sendbuf, sendcount, sendtype_v, dest, sendtag, comm_v)
+        return self.recv(
+            recvbuf, recvcount, recvtype_v, source, recvtag, comm_v
+        )
+
+    def get_count(self, status: Status, dtype_v: int) -> int:
+        self._enter()
+        dentry = self._dtype(dtype_v)
+        return self.descriptor_of(dentry).count_elements(status.count_bytes)
+
+    # ------------------------------------------------------------------
+    # collective wrappers (two-phase)
+    # ------------------------------------------------------------------
+    def _two_phase(self, comm_entry) -> None:
+        """Trivial barrier before the real collective (checkpoint never
+        splits a communicator's ranks across a collective boundary)."""
+        rec = comm_entry.record
+        if not isinstance(rec, CommRecord) or len(rec.world_ranks) == 1:
+            self._maybe_checkpoint()
+            return
+        if self.coordinator is None:
+            return
+        rec.coll_seq += 1
+        self._extra_lib_calls(1)  # the two-phase barrier's extra round
+        self.coordinator.trivial_barrier(
+            comm_key=rec.key(),
+            seq=rec.coll_seq,
+            rank=self.rank,
+            member_world_ranks=rec.world_ranks,
+            park_check=self._maybe_checkpoint,
+        )
+
+    def barrier(self, comm_v: int) -> None:
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.barrier(entry.phys)
+
+    def bcast(self, buf, count: int, dtype_v: int, root: int, comm_v: int):
+        self._enter()
+        entry = self._comm(comm_v)
+        dentry = self._dtype(dtype_v)
+        self._two_phase(entry)
+        self.lower.bcast(buf, count, dentry.phys, root, entry.phys)
+
+    def reduce(
+        self, sendbuf, recvbuf, count: int, dtype_v: int, op_v: int,
+        root: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.reduce(
+            sendbuf, recvbuf, count,
+            self.vids.phys(dtype_v, HandleKind.DATATYPE),
+            self.vids.phys(op_v, HandleKind.OP),
+            root, entry.phys,
+        )
+
+    def allreduce(
+        self, sendbuf, recvbuf, count: int, dtype_v: int, op_v: int,
+        comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.allreduce(
+            sendbuf, recvbuf, count,
+            self.vids.phys(dtype_v, HandleKind.DATATYPE),
+            self.vids.phys(op_v, HandleKind.OP),
+            entry.phys,
+        )
+
+    def alltoall(
+        self, sendbuf, sendcount: int, sendtype_v: int,
+        recvbuf, recvcount: int, recvtype_v: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.alltoall(
+            sendbuf, sendcount,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcount,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            entry.phys,
+        )
+
+    def alltoallv(
+        self, sendbuf, sendcounts, sdispls, sendtype_v: int,
+        recvbuf, recvcounts, rdispls, recvtype_v: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.alltoallv(
+            sendbuf, sendcounts, sdispls,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcounts, rdispls,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            entry.phys,
+        )
+
+    def gather(
+        self, sendbuf, sendcount: int, sendtype_v: int,
+        recvbuf, recvcount: int, recvtype_v: int, root: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.gather(
+            sendbuf, sendcount,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcount,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            root, entry.phys,
+        )
+
+    def gatherv(
+        self, sendbuf, sendcount: int, sendtype_v: int,
+        recvbuf, recvcounts, displs, recvtype_v: int, root: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.gatherv(
+            sendbuf, sendcount,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcounts, displs,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            root, entry.phys,
+        )
+
+    def scatter(
+        self, sendbuf, sendcount: int, sendtype_v: int,
+        recvbuf, recvcount: int, recvtype_v: int, root: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.scatter(
+            sendbuf, sendcount,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcount,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            root, entry.phys,
+        )
+
+    def scatterv(
+        self, sendbuf, sendcounts, displs, sendtype_v: int,
+        recvbuf, recvcount: int, recvtype_v: int, root: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.scatterv(
+            sendbuf, sendcounts, displs,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcount,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            root, entry.phys,
+        )
+
+    def allgather(
+        self, sendbuf, sendcount: int, sendtype_v: int,
+        recvbuf, recvcount: int, recvtype_v: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.allgather(
+            sendbuf, sendcount,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcount,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            entry.phys,
+        )
+
+    def allgatherv(
+        self, sendbuf, sendcount: int, sendtype_v: int,
+        recvbuf, recvcounts, displs, recvtype_v: int, comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.allgatherv(
+            sendbuf, sendcount,
+            self.vids.phys(sendtype_v, HandleKind.DATATYPE),
+            recvbuf, recvcounts, displs,
+            self.vids.phys(recvtype_v, HandleKind.DATATYPE),
+            entry.phys,
+        )
+
+    def scan(
+        self, sendbuf, recvbuf, count: int, dtype_v: int, op_v: int,
+        comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.scan(
+            sendbuf, recvbuf, count,
+            self.vids.phys(dtype_v, HandleKind.DATATYPE),
+            self.vids.phys(op_v, HandleKind.OP),
+            entry.phys,
+        )
+
+    def exscan(
+        self, sendbuf, recvbuf, count: int, dtype_v: int, op_v: int,
+        comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.exscan(
+            sendbuf, recvbuf, count,
+            self.vids.phys(dtype_v, HandleKind.DATATYPE),
+            self.vids.phys(op_v, HandleKind.OP),
+            entry.phys,
+        )
+
+    def reduce_scatter_block(
+        self, sendbuf, recvbuf, recvcount: int, dtype_v: int, op_v: int,
+        comm_v: int,
+    ):
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        self.lower.reduce_scatter_block(
+            sendbuf, recvbuf, recvcount,
+            self.vids.phys(dtype_v, HandleKind.DATATYPE),
+            self.vids.phys(op_v, HandleKind.OP),
+            entry.phys,
+        )
+
+    # ------------------------------------------------------------------
+    # datatype wrappers
+    # ------------------------------------------------------------------
+    def _attach_datatype(self, phys: int) -> int:
+        return self.vids.attach(
+            HandleKind.DATATYPE, DatatypeRecord(descriptor=None), phys
+        )
+
+    def type_contiguous(self, count: int, oldtype_v: int) -> int:
+        self._enter()
+        phys = self.lower.type_contiguous(
+            count, self.vids.phys(oldtype_v, HandleKind.DATATYPE)
+        )
+        return self._attach_datatype(phys)
+
+    def type_vector(
+        self, count: int, blocklength: int, stride: int, oldtype_v: int
+    ) -> int:
+        self._enter()
+        phys = self.lower.type_vector(
+            count, blocklength, stride,
+            self.vids.phys(oldtype_v, HandleKind.DATATYPE),
+        )
+        return self._attach_datatype(phys)
+
+    def type_indexed(
+        self, blocklengths: Sequence[int], displacements: Sequence[int],
+        oldtype_v: int,
+    ) -> int:
+        self._enter()
+        phys = self.lower.type_indexed(
+            blocklengths, displacements,
+            self.vids.phys(oldtype_v, HandleKind.DATATYPE),
+        )
+        return self._attach_datatype(phys)
+
+    def type_create_struct(
+        self, blocklengths: Sequence[int], displacements: Sequence[int],
+        types_v: Sequence[int],
+    ) -> int:
+        self._enter()
+        phys = self.lower.type_create_struct(
+            blocklengths, displacements,
+            [self.vids.phys(t, HandleKind.DATATYPE) for t in types_v],
+        )
+        return self._attach_datatype(phys)
+
+    def type_dup(self, oldtype_v: int) -> int:
+        self._enter()
+        entry = self._dtype(oldtype_v)
+        phys = self.lower.type_dup(entry.phys)
+        vh = self._attach_datatype(phys)
+        new_entry = self._dtype(vh)
+        if isinstance(entry.record, DatatypeRecord):
+            new_entry.record.descriptor = entry.record.descriptor
+            new_entry.record.committed = entry.record.committed
+        return vh
+
+    def type_commit(self, dtype_v: int) -> None:
+        self._enter()
+        entry = self._dtype(dtype_v)
+        self.lower.type_commit(entry.phys)
+        rec = entry.record
+        if isinstance(rec, DatatypeRecord):
+            # Decode now, through get_envelope/get_contents (§5 cat. 2):
+            # the record must be reconstructible in any implementation.
+            rec.descriptor = replay_mod.decode_datatype(self.lower, entry.phys)
+            rec.committed = True
+
+    def type_free(self, dtype_v: int) -> None:
+        self._enter()
+        entry = self._dtype(dtype_v)
+        if entry.constant_name is not None:
+            raise MpiError(
+                f"cannot free predefined type {entry.constant_name}",
+                "MPI_ERR_TYPE",
+            )
+        self.lower.type_free(entry.phys)
+        self.vids.remove(dtype_v)
+
+    def type_size(self, dtype_v: int) -> int:
+        self._enter()
+        return self.lower.type_size(self.vids.phys(dtype_v, HandleKind.DATATYPE))
+
+    def type_get_extent(self, dtype_v: int) -> Tuple[int, int]:
+        self._enter()
+        return self.lower.type_get_extent(
+            self.vids.phys(dtype_v, HandleKind.DATATYPE)
+        )
+
+    def type_get_envelope(self, dtype_v: int):
+        self._enter()
+        return self.lower.type_get_envelope(
+            self.vids.phys(dtype_v, HandleKind.DATATYPE)
+        )
+
+    def type_get_contents(self, dtype_v: int):
+        self._enter()
+        entry = self._dtype(dtype_v)
+        integers, addresses, inner_phys = self.lower.type_get_contents(
+            entry.phys
+        )
+        inner_v = [self._vid_for_phys_datatype(p) for p in inner_phys]
+        return integers, addresses, inner_v
+
+    def _vid_for_phys_datatype(self, phys: int) -> int:
+        """Physical -> virtual for datatypes returned by the lower half.
+
+        This is the wrapper the paper notes as the (rare) consumer of
+        reverse translation: O(1) in the new design, O(n) in the legacy.
+        """
+        vh = self.vids.vid_of_phys(HandleKind.DATATYPE, phys)
+        if vh is not None:
+            return vh
+        # A predefined type the app never touched?  Bind its constant.
+        for name in C.PREDEFINED_DATATYPES:
+            try:
+                if self.lower.constant(name) == phys:
+                    return self._constant_handle(name)
+            except MpiError:
+                continue
+        # A brand-new derived handle created by get_contents itself.
+        vh = self._attach_datatype(phys)
+        entry = self._dtype(vh)
+        entry.record.descriptor = replay_mod.decode_datatype(self.lower, phys)
+        return vh
+
+    # ------------------------------------------------------------------
+    # op wrappers
+    # ------------------------------------------------------------------
+    def op_create(self, fn: Callable, commute: bool) -> int:
+        self._enter()
+        name = USER_OPS.name_of(fn)
+        if name is None:
+            raise MpiError(
+                "MPI_Op_create under MANA requires the function to be "
+                "registered via repro.util.registry.user_op so it can be "
+                "re-created at restart",
+                "MPI_ERR_OP",
+            )
+        phys = self.lower.op_create(fn, commute)
+        rec = OpRecord(registry_name=name, commute=commute)
+        return self.vids.attach(HandleKind.OP, rec, phys)
+
+    def op_free(self, op_v: int) -> None:
+        self._enter()
+        entry = self.vids.lookup(op_v, HandleKind.OP)
+        if entry.constant_name is not None:
+            raise MpiError(
+                f"cannot free predefined op {entry.constant_name}",
+                "MPI_ERR_OP",
+            )
+        self.lower.op_free(entry.phys)
+        self.vids.remove(op_v)
+
+    # ------------------------------------------------------------------
+    # communicator attribute wrappers
+    # ------------------------------------------------------------------
+    # Attributes are served entirely from the MANA records (never from
+    # the lower half): they are upper-half data, so they checkpoint and
+    # restart for free — including across MPI implementations, and even
+    # on implementations whose native attribute support is missing.
+
+    def _comm_attrs(self, comm_v: int) -> dict:
+        entry = self._comm(comm_v)
+        rec = entry.record
+        if not isinstance(rec, CommRecord):
+            raise MpiError("not an attribute-capable comm", "MPI_ERR_COMM")
+        return rec.attributes
+
+    def comm_create_keyval(self) -> int:
+        self._enter()
+        kv = self.vids.next_keyval
+        self.vids.next_keyval += 1
+        self.vids.live_keyvals.add(kv)
+        return kv
+
+    def comm_free_keyval(self, keyval: int) -> None:
+        self._enter()
+        if keyval not in self.vids.live_keyvals:
+            raise MpiError(f"unknown keyval {keyval}", "MPI_ERR_KEYVAL")
+        self.vids.live_keyvals.discard(keyval)
+
+    def comm_set_attr(self, comm_v: int, keyval: int, value) -> None:
+        self._enter()
+        if keyval not in self.vids.live_keyvals:
+            raise MpiError(f"unknown keyval {keyval}", "MPI_ERR_KEYVAL")
+        self._comm_attrs(comm_v)[keyval] = value
+
+    def comm_get_attr(self, comm_v: int, keyval: int):
+        self._enter()
+        attrs = self._comm_attrs(comm_v)
+        if keyval in attrs:
+            return True, attrs[keyval]
+        return False, None
+
+    def comm_delete_attr(self, comm_v: int, keyval: int) -> None:
+        self._enter()
+        self._comm_attrs(comm_v).pop(keyval, None)
+
+    # ------------------------------------------------------------------
+    # cartesian topology wrappers
+    # ------------------------------------------------------------------
+    def cart_create(
+        self, comm_v: int, dims: Sequence[int], periods: Sequence[bool],
+        reorder: bool = False,
+    ) -> int:
+        self._enter()
+        entry = self._comm(comm_v)
+        self._two_phase(entry)
+        phys = self.lower.cart_create(entry.phys, dims, periods, reorder)
+        if self.lower.handles.is_null(HandleKind.COMM, phys):
+            return self.null_vhandle(HandleKind.COMM)
+        cart = (tuple(dims), tuple(bool(p) for p in periods))
+        return self._attach_comm(phys, name="cart", cart=cart)
+
+    def _cart_info(self, comm_v: int) -> Tuple[CommRecord, CartInfo]:
+        entry = self._comm(comm_v)
+        rec = entry.record
+        if not isinstance(rec, CommRecord) or rec.cart is None:
+            raise MpiError(
+                "communicator has no cartesian topology", "MPI_ERR_TOPOLOGY"
+            )
+        return rec, CartInfo(rec.cart[0], rec.cart[1])
+
+    def cart_coords(self, comm_v: int, rank: int) -> Tuple[int, ...]:
+        # Served from the MANA record: topology is MANA-internal metadata,
+        # which also survives the comm_split-based restart replay.
+        self._enter()
+        _, info = self._cart_info(comm_v)
+        return info.coords_of(rank)
+
+    def cart_rank(self, comm_v: int, coords: Sequence[int]) -> int:
+        self._enter()
+        _, info = self._cart_info(comm_v)
+        return info.rank_of(tuple(coords))
+
+    def cart_shift(
+        self, comm_v: int, direction: int, disp: int
+    ) -> Tuple[int, int]:
+        self._enter()
+        rec, info = self._cart_info(comm_v)
+        my = rec.world_ranks.index(self.rank)
+        return info.shift(my, direction, disp)
+
+    # ------------------------------------------------------------------
+    # checkpoint participation (the rank side of the coordinator dance)
+    # ------------------------------------------------------------------
+    def checkpoint_participate(self) -> None:
+        """Run this rank's part of a checkpoint.  Called from any safe
+        point; returns when the job resumes (or raises JobPreempted)."""
+        coord = self.coordinator
+        ticket = coord.intent
+        if ticket is None:
+            return
+        self._active_ticket = ticket
+
+        coord.quiesce(self.rank, self.clock.now)
+        # From here until resume, every lower-half call is MANA-internal
+        # (the app is parked); record the delta to audit the paper's
+        # Section 5 required-subset claim.
+        calls_before = dict(self.lower.call_counts)
+        run_drain(self)
+        coord.drained()
+
+        nbytes = self._write_image(ticket)
+        coord.saved(self.rank, nbytes)
+
+        # Charge the checkpoint's cost to virtual time (Table 3 model).
+        start, duration = coord.checkpoint_timing()
+        self.clock.merge(start)
+        self.clock.advance(duration, "checkpoint")
+
+        if self.rank == 0:
+            ckpt.write_manifest(
+                self.ckpt_dir,
+                ticket.generation,
+                nranks=self.fabric.nranks,
+                impl=self.impl_name,
+                kind=ticket.kind,
+                cold_restartable=(ticket.kind == CheckpointKind.LOOP),
+                loop_target=coord.loop_target(),
+                extra={"vid_design": self.vids.design_name},
+            )
+
+        if ticket.mode == CheckpointMode.RELAUNCH:
+            self._relaunch_lower()
+            # Replay ran against a brand-new library: audit it all.
+            self.last_internal_calls = dict(self.lower.call_counts)
+        else:
+            self.last_internal_calls = {
+                name: n - calls_before.get(name, 0)
+                for name, n in self.lower.call_counts.items()
+                if n > calls_before.get(name, 0)
+            }
+
+        coord.resumed()
+        self._active_ticket = None
+
+        if ticket.mode == CheckpointMode.EXIT:
+            raise JobPreempted(ticket.generation)
+
+    def _write_image(self, ticket) -> int:
+        loops = dict(self._ctx._loops) if self._ctx is not None else {}
+        image = ckpt.CheckpointImage(
+            rank=self.rank,
+            nranks=self.fabric.nranks,
+            impl=self.impl_name,
+            kind=ticket.kind,
+            generation=ticket.generation,
+            app=self._app,
+            loops=loops,
+            vid_table=self.vids,
+            drain_buffer=self.drain_buffer,
+            clock_state=self.clock.get_state(),
+            rng_state=None,
+            cs_count=self.cs_count,
+            epoch=self.epoch,
+        )
+        path = ckpt.rank_image_path(self.ckpt_dir, ticket.generation, self.rank)
+        nbytes = ckpt.save_image(path, image)
+        # Proxy applications hold a scaled-down working set; they declare
+        # the full-size resident bytes the real application would have
+        # checkpointed (Table 3 image sizes).  Accounting — not storage.
+        extra = getattr(self._app, "simulated_state_bytes", 0) or 0
+        return nbytes + int(extra)
+
+    def _relaunch_lower(self) -> None:
+        """Discard the lower half and rebuild it — the restart path of
+        Figure 1, exercised without killing the process."""
+        self.lower.shutdown()
+        self.epoch += 1
+        self.lower = make_lib(
+            self.impl_name, self.fabric, self.rank, self.clock,
+            self.cost_model, epoch=self.epoch, seed=self.seed,
+        )
+        self.lower.init()
+        self.vids.handle_bits = self.lower.handles.handle_bits
+        # Invalidate every physical binding, then replay.
+        for entry in list(self.vids.entries()):
+            if entry.phys is not None:
+                self.vids.set_phys(self.vids.embed(entry.vid), None)
+        replay_mod.replay_all(self)
+
+
+class ManaFacade(FacadeBase):
+    """The application-visible MPI surface, MANA edition.
+
+    Identical shape to :class:`repro.impls.facade.NativeFacade`; constants
+    resolve to *virtual* handles that stay stable across checkpoints,
+    restarts, and even MPI implementations.
+    """
+
+    def __init__(self, mana: ManaRank):
+        self._mana = mana
+
+    @property
+    def impl_name(self) -> str:
+        return self._mana.impl_name
+
+    @property
+    def handle_bits(self) -> int:
+        return self._mana.lower.handles.handle_bits
+
+    def __getattr__(self, attr: str):
+        mana = object.__getattribute__(self, "_mana")
+        const = _CONSTANT_ATTRS.get(attr)
+        if const is not None:
+            return mana._constant_handle(const)
+        kind = _NULL_ATTRS.get(attr)
+        if kind is not None:
+            return mana.null_vhandle(kind)
+        if hasattr(ManaRank, attr) and not attr.startswith("_"):
+            return getattr(mana, attr)
+        raise AttributeError(f"MANA MPI facade has no attribute {attr!r}")

@@ -1,0 +1,74 @@
+"""MPI semantics shared by all four simulated implementations.
+
+The split mirrors how real MPI implementations are layered:
+
+* :mod:`repro.mpi.datatypes` — the datatype algebra (typemaps, envelopes,
+  contents, packing), shared verbatim by every implementation;
+* :mod:`repro.mpi.group` — group set-algebra over world ranks;
+* :mod:`repro.mpi.objects` — the internal structs (communicator, group,
+  datatype, op, request) that physical handles point to;
+* :mod:`repro.mpi.collectives` — collective algorithms over point-to-point;
+* :mod:`repro.mpi.api` — :class:`BaseMpiLib`, the full function surface.
+
+What *differs* between implementations — handle representation, constant
+resolution, and supported subset — lives in :mod:`repro.impls`.
+"""
+
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    UNDEFINED,
+    COMBINER_NAMED,
+    COMBINER_CONTIGUOUS,
+    COMBINER_VECTOR,
+    COMBINER_INDEXED,
+    COMBINER_STRUCT,
+    IDENT,
+    CONGRUENT,
+    SIMILAR,
+    UNEQUAL,
+    PREDEFINED_DATATYPES,
+    PREDEFINED_OPS,
+)
+from repro.mpi.datatypes import TypeDescriptor, NamedType, make_predefined_types
+from repro.mpi.group import GroupData
+from repro.mpi.objects import (
+    CommObject,
+    GroupObject,
+    DatatypeObject,
+    OpObject,
+    RequestObject,
+    Status,
+)
+from repro.mpi.api import BaseMpiLib, HandleKind
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "COMBINER_NAMED",
+    "COMBINER_CONTIGUOUS",
+    "COMBINER_VECTOR",
+    "COMBINER_INDEXED",
+    "COMBINER_STRUCT",
+    "IDENT",
+    "CONGRUENT",
+    "SIMILAR",
+    "UNEQUAL",
+    "PREDEFINED_DATATYPES",
+    "PREDEFINED_OPS",
+    "TypeDescriptor",
+    "NamedType",
+    "make_predefined_types",
+    "GroupData",
+    "CommObject",
+    "GroupObject",
+    "DatatypeObject",
+    "OpObject",
+    "RequestObject",
+    "Status",
+    "BaseMpiLib",
+    "HandleKind",
+]

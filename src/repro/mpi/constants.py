@@ -1,0 +1,89 @@
+"""Names and numeric constants of the simulated MPI standard surface.
+
+These are the *standard-level* constants (wildcards, combiners,
+comparison results) plus the canonical name lists for predefined
+datatypes and reduction operations.  The *handle values* bound to those
+names are implementation-specific and live in :mod:`repro.impls`.
+"""
+
+from __future__ import annotations
+
+# Wildcards / sentinels (values mirror MPICH's mpi.h where meaningful).
+ANY_SOURCE = -1
+ANY_TAG = -1
+PROC_NULL = -2
+UNDEFINED = -32766
+ROOT_TAG_BASE = 1 << 20  # tags above this are reserved for internal use
+
+# MPI_Comm_split_type types
+COMM_TYPE_SHARED = 1
+CORES_PER_NODE = 56  # Discovery's dual-socket Cascade Lake nodes
+
+# MPI_Comm_compare results
+IDENT = 0
+CONGRUENT = 1
+SIMILAR = 2
+UNEQUAL = 3
+
+# Datatype envelope combiners (MPI-3 §4.1.13 subset we support)
+COMBINER_NAMED = "MPI_COMBINER_NAMED"
+COMBINER_CONTIGUOUS = "MPI_COMBINER_CONTIGUOUS"
+COMBINER_VECTOR = "MPI_COMBINER_VECTOR"
+COMBINER_INDEXED = "MPI_COMBINER_INDEXED"
+COMBINER_STRUCT = "MPI_COMBINER_STRUCT"
+
+# Predefined datatype names → numpy dtype strings.
+# DOUBLE_INT / FLOAT_INT are the MAXLOC/MINLOC pair types, modelled as
+# structured dtypes.
+PREDEFINED_DATATYPES = {
+    "MPI_BYTE": "u1",
+    "MPI_CHAR": "i1",
+    "MPI_INT8_T": "i1",
+    "MPI_UINT8_T": "u1",
+    "MPI_INT16_T": "i2",
+    "MPI_UINT16_T": "u2",
+    "MPI_INT": "i4",
+    "MPI_INT32_T": "i4",
+    "MPI_UINT32_T": "u4",
+    "MPI_LONG": "i8",
+    "MPI_INT64_T": "i8",
+    "MPI_UINT64_T": "u8",
+    "MPI_FLOAT": "f4",
+    "MPI_DOUBLE": "f8",
+    "MPI_C_BOOL": "u1",
+    "MPI_DOUBLE_INT": [("value", "f8"), ("index", "i4")],
+    "MPI_FLOAT_INT": [("value", "f4"), ("index", "i4")],
+}
+
+# ExaMPI aliasing (Section 4.3): INT8_T and CHAR share one internal
+# pointer, as do BYTE and UINT8_T.
+EXAMPI_ALIASES = {
+    "MPI_INT8_T": "MPI_CHAR",
+    "MPI_UINT8_T": "MPI_BYTE",
+}
+
+# Predefined reduction operations.
+PREDEFINED_OPS = (
+    "MPI_SUM",
+    "MPI_PROD",
+    "MPI_MAX",
+    "MPI_MIN",
+    "MPI_LAND",
+    "MPI_LOR",
+    "MPI_BAND",
+    "MPI_BOR",
+    "MPI_MAXLOC",
+    "MPI_MINLOC",
+)
+
+# Predefined communicators / groups.
+PREDEFINED_COMMS = ("MPI_COMM_WORLD", "MPI_COMM_SELF")
+PREDEFINED_GROUPS = ("MPI_GROUP_EMPTY",)
+
+# Every constant name an "mpi.h" facade must expose.
+ALL_CONSTANT_NAMES = (
+    PREDEFINED_COMMS
+    + PREDEFINED_GROUPS
+    + tuple(PREDEFINED_DATATYPES)
+    + PREDEFINED_OPS
+)

@@ -1,0 +1,125 @@
+"""Group set-algebra over world ranks.
+
+A group is an ordered tuple of *world* ranks (the ranks of
+MPI_COMM_WORLD).  All the MPI group operations are pure functions here;
+the per-implementation ``GroupObject`` simply wraps a :class:`GroupData`.
+
+Ordering rules follow the standard: ``union`` keeps the first group's
+order then appends new members in the second group's order;
+``intersection`` and ``difference`` keep the first group's order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.mpi import constants as C
+from repro.util.errors import MpiError
+
+
+@dataclass(frozen=True)
+class GroupData:
+    """An ordered set of world ranks; group rank i is ``ranks[i]``."""
+
+    ranks: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(set(self.ranks)) != len(self.ranks):
+            raise MpiError(
+                f"group has duplicate ranks: {self.ranks}", "MPI_ERR_RANK"
+            )
+        if any(r < 0 for r in self.ranks):
+            raise MpiError(
+                f"group has negative ranks: {self.ranks}", "MPI_ERR_RANK"
+            )
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of a world rank, or MPI_UNDEFINED."""
+        try:
+            return self.ranks.index(world_rank)
+        except ValueError:
+            return C.UNDEFINED
+
+    def world_rank(self, group_rank: int) -> int:
+        if not 0 <= group_rank < self.size:
+            raise MpiError(
+                f"group rank {group_rank} out of range (size {self.size})",
+                "MPI_ERR_RANK",
+            )
+        return self.ranks[group_rank]
+
+    def translate_ranks(
+        self, ranks: Sequence[int], other: "GroupData"
+    ) -> List[int]:
+        """MPI_Group_translate_ranks: map our group ranks into ``other``."""
+        out = []
+        for r in ranks:
+            if r == C.PROC_NULL:
+                out.append(C.PROC_NULL)
+                continue
+            out.append(other.rank_of(self.world_rank(r)))
+        return out
+
+    # -- constructive operations -------------------------------------------
+    def incl(self, ranks: Sequence[int]) -> "GroupData":
+        return GroupData(tuple(self.world_rank(r) for r in ranks))
+
+    def excl(self, ranks: Sequence[int]) -> "GroupData":
+        drop = set(ranks)
+        for r in drop:
+            self.world_rank(r)  # validate range
+        return GroupData(
+            tuple(w for i, w in enumerate(self.ranks) if i not in drop)
+        )
+
+    def union(self, other: "GroupData") -> "GroupData":
+        seen = set(self.ranks)
+        extra = tuple(r for r in other.ranks if r not in seen)
+        return GroupData(self.ranks + extra)
+
+    def intersection(self, other: "GroupData") -> "GroupData":
+        keep = set(other.ranks)
+        return GroupData(tuple(r for r in self.ranks if r in keep))
+
+    def difference(self, other: "GroupData") -> "GroupData":
+        drop = set(other.ranks)
+        return GroupData(tuple(r for r in self.ranks if r not in drop))
+
+    def compare(self, other: "GroupData") -> int:
+        """MPI_Group_compare: IDENT, SIMILAR, or UNEQUAL."""
+        if self.ranks == other.ranks:
+            return C.IDENT
+        if set(self.ranks) == set(other.ranks):
+            return C.SIMILAR
+        return C.UNEQUAL
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self.ranks
+
+
+EMPTY_GROUP = GroupData(())
+
+
+def ggid_of(ranks: Sequence[int]) -> int:
+    """The paper's *ggid* (global group id): a deterministic 29-bit id of
+    a group's world-rank membership, stable across sessions and restarts.
+
+    MANA's new virtual ids embed this for communicators and groups
+    (Section 4.2), which makes the virtual id of a communicator identical
+    on every rank of that communicator — a property MANA uses when ranks
+    gossip about communicator state during drain.
+    """
+    h = 0x811C9DC5
+    for r in sorted(ranks):
+        for b in int(r).to_bytes(4, "little", signed=False):
+            h = ((h ^ b) * 0x01000193) & 0xFFFFFFFF
+    # Mix in the size to separate e.g. {0} from {0} with different sizes
+    # of padding; fold to 29 bits (virtual-id index field width).
+    h ^= len(ranks) * 0x9E3779B1
+    return h & ((1 << 29) - 1)

@@ -1,0 +1,27 @@
+"""Split-process runtime: launching simulated MPI jobs, with or without MANA.
+
+* :mod:`repro.runtime.app` — the application contract (setup/run over a
+  rank context; state lives in plain attributes = "upper-half memory");
+* :mod:`repro.runtime.context` — per-rank context: the MPI facade, the
+  virtual clock, compute regions, resumable loops;
+* :mod:`repro.runtime.platforms` — named platform/implementation cost
+  models (Discovery vs Perlmutter, per-implementation network profiles);
+* :mod:`repro.runtime.launcher` — :class:`JobConfig`, :class:`Launcher`,
+  :class:`Job`: thread-per-rank execution, checkpoint requests, restart
+  (same session, new session, or a *different MPI implementation*).
+"""
+
+from repro.runtime.app import MpiApplication
+from repro.runtime.context import RankContext
+from repro.runtime.launcher import Job, JobConfig, JobResult, Launcher
+from repro.runtime.platforms import cost_model_for
+
+__all__ = [
+    "MpiApplication",
+    "RankContext",
+    "Job",
+    "JobConfig",
+    "JobResult",
+    "Launcher",
+    "cost_model_for",
+]

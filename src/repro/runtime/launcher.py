@@ -1,0 +1,352 @@
+"""Job launching: thread-per-rank execution of simulated MPI programs.
+
+:class:`Launcher` plays the role of ``srun``/SBATCH: it builds the
+fabric, instantiates one library (or one MANA agent) per rank, runs the
+application on one thread per rank, and — for MANA jobs — wires up the
+checkpoint coordinator.
+
+Restart paths:
+
+* :meth:`Job.request_checkpoint` + mode ``relaunch`` — in-session restart
+  (lower halves replaced live, any-MPI-call granularity);
+* :meth:`Launcher.restart` — cold restart: a brand-new job adopts the
+  images of a previous one, optionally under a **different MPI
+  implementation** (the §9 "future work" interoperability this
+  simulation can actually demonstrate).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.fabric.network import Fabric
+from repro.impls import make_lib
+from repro.impls.facade import NativeFacade
+from repro.mana.checkpoint import (
+    CheckpointImage,
+    latest_generations,
+    load_image,
+    read_manifest,
+    rank_image_path,
+)
+from repro.mana.coordinator import CheckpointCoordinator, CheckpointTicket
+from repro.mana.wrappers import ManaFacade, ManaRank
+from repro.runtime.context import RankContext
+from repro.runtime.platforms import cost_model_for
+from repro.simtime.clock import VirtualClock
+from repro.util.errors import JobPreempted, ReproError, RestartError
+
+
+@dataclass
+class JobConfig:
+    """Everything needed to run one simulated job."""
+
+    nranks: int
+    impl: str = "mpich"
+    platform: str = "discovery"
+    mana: bool = False
+    vid_design: str = "new"          # "new" | "legacy"
+    ggid_policy: str = "eager"       # "eager" | "lazy" | "hybrid"
+    seed: int = 12345
+    ckpt_dir: Optional[str] = None   # default: fresh temp dir
+    loop_lag_window: int = 8
+    ckpt_interval: Optional[float] = None  # periodic ckpt, virtual seconds
+    epoch: int = 0                   # bumped by restarts
+    deadline: float = 300.0          # real-time safety net
+
+    def resolved_ckpt_dir(self) -> str:
+        if self.ckpt_dir is None:
+            self.ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+        return self.ckpt_dir
+
+
+@dataclass
+class RankOutcome:
+    rank: int
+    app: object = None
+    runtime: float = 0.0
+    accounts: Dict[str, float] = field(default_factory=dict)
+    cs_count: int = 0
+    wrapped_calls: int = 0
+    lib_call_counts: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+@dataclass
+class JobResult:
+    """Aggregated outcome of a finished job."""
+
+    status: str                      # "completed" | "preempted" | "failed"
+    ranks: List[RankOutcome]
+    config: JobConfig
+
+    @property
+    def runtime(self) -> float:
+        """Job runtime = slowest rank's virtual clock (SBATCH semantics)."""
+        return max((r.runtime for r in self.ranks), default=0.0)
+
+    @property
+    def total_cs(self) -> int:
+        return sum(r.cs_count for r in self.ranks)
+
+    @property
+    def cs_per_second(self) -> float:
+        rt = self.runtime
+        return self.total_cs / rt if rt > 0 else 0.0
+
+    def apps(self) -> List[object]:
+        return [r.app for r in self.ranks]
+
+    def first_error(self) -> Optional[str]:
+        for r in self.ranks:
+            if r.error:
+                return f"rank {r.rank}: {r.error}"
+        return None
+
+
+class Job:
+    """A running (or finished) simulated MPI job."""
+
+    def __init__(
+        self,
+        config: JobConfig,
+        app_factory: Optional[Callable[[int], object]] = None,
+        images: Optional[List[CheckpointImage]] = None,
+    ):
+        if (app_factory is None) == (images is None):
+            raise ValueError("provide exactly one of app_factory / images")
+        self.config = config
+        self.app_factory = app_factory
+        self.images = images
+        cm0 = cost_model_for(config.platform, config.impl)
+        self.fabric = Fabric(config.nranks, cm0)
+        self.coordinator: Optional[CheckpointCoordinator] = None
+        if config.mana:
+            self.coordinator = CheckpointCoordinator(
+                config.nranks,
+                config.resolved_ckpt_dir(),
+                cm0.filesystem,
+                loop_lag_window=config.loop_lag_window,
+            )
+            if config.ckpt_interval is not None:
+                self.coordinator.enable_interval_checkpoints(
+                    config.ckpt_interval
+                )
+        self._threads: List[threading.Thread] = []
+        self._outcomes: List[RankOutcome] = [
+            RankOutcome(r) for r in range(config.nranks)
+        ]
+        self._status = "created"
+        self._preempted = False
+        self.manas: List[Optional[ManaRank]] = [None] * config.nranks
+
+    # ------------------------------------------------------------------
+    def start(self) -> "Job":
+        if self._status != "created":
+            raise ReproError(f"job already {self._status}")
+        self._status = "running"
+        for r in range(self.config.nranks):
+            t = threading.Thread(
+                target=self._run_rank, args=(r,), name=f"rank-{r}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> JobResult:
+        timeout = timeout or self.config.deadline
+        for t in self._threads:
+            t.join(timeout=timeout)
+        if any(t.is_alive() for t in self._threads):
+            self.fabric.abort(ReproError("job wait() timed out"))
+            if self.coordinator:
+                self.coordinator.abort()
+            for t in self._threads:
+                t.join(timeout=5.0)
+            self._status = "failed"
+        elif self._preempted:
+            self._status = "preempted"
+        elif any(o.error for o in self._outcomes):
+            self._status = "failed"
+        else:
+            self._status = "completed"
+        if self.coordinator is not None:
+            self.coordinator.cancel_pending(f"job {self._status}")
+        return JobResult(self._status, self._outcomes, self.config)
+
+    def run(self, timeout: Optional[float] = None) -> JobResult:
+        return self.start().wait(timeout)
+
+    def request_checkpoint(self, kind: str = "in-session",
+                           mode: str = "continue") -> CheckpointTicket:
+        if self.coordinator is None:
+            raise ReproError("checkpointing requires a MANA job (mana=True)")
+        return self.coordinator.request_checkpoint(kind, mode)
+
+    def checkpoint_at_iteration(
+        self, loop_name: str, iteration: int,
+        kind: str = "in-session", mode: str = "continue",
+    ) -> CheckpointTicket:
+        """Arm a checkpoint that fires deterministically when the named
+        resumable loop reaches ``iteration`` (call before start())."""
+        if self.coordinator is None:
+            raise ReproError("checkpointing requires a MANA job (mana=True)")
+        return self.coordinator.checkpoint_at_iteration(
+            loop_name, iteration, kind, mode
+        )
+
+    # ------------------------------------------------------------------
+    def _run_rank(self, rank: int) -> None:
+        outcome = self._outcomes[rank]
+        cfg = self.config
+        cost_model = cost_model_for(cfg.platform, cfg.impl)
+        clock = VirtualClock()
+        mana: Optional[ManaRank] = None
+        lib = None
+        try:
+            image = self.images[rank] if self.images is not None else None
+            if cfg.mana:
+                mana = ManaRank(
+                    self.fabric, rank, clock, cost_model, cfg.impl,
+                    coordinator=self.coordinator,
+                    vid_design=cfg.vid_design,
+                    ggid_policy=cfg.ggid_policy,
+                    seed=cfg.seed,
+                    ckpt_dir=cfg.resolved_ckpt_dir(),
+                    epoch=cfg.epoch,
+                )
+                self.manas[rank] = mana
+                mana.bootstrap()
+                MPI = ManaFacade(mana)
+            else:
+                lib = make_lib(
+                    cfg.impl, self.fabric, rank, clock, cost_model,
+                    epoch=cfg.epoch, seed=cfg.seed,
+                )
+                lib.init()
+                MPI = NativeFacade(lib)
+
+            ctx = RankContext(
+                rank, cfg.nranks, MPI, clock, cost_model,
+                mana=mana, restarting=image is not None,
+            )
+            ctx.noise_seed = cfg.seed
+
+            if image is not None:
+                clock.set_state(image.clock_state)
+                app = image.app
+                ctx._loops = dict(image.loops)
+                mana.attach_upper(app, ctx)
+                mana.restore_from_image(image)
+                # Charge restart time: reading the image back (same
+                # filesystem model as Table 3) plus replay already having
+                # charged its MPI-call costs above.
+                from repro.simtime.cost import checkpoint_time
+
+                extra = getattr(app, "simulated_state_bytes", 0) or 0
+                clock.advance(
+                    checkpoint_time(
+                        cost_model.filesystem, cfg.nranks,
+                        image.stored_bytes + int(extra),
+                    ),
+                    "restart",
+                )
+            else:
+                app = self.app_factory(rank)
+                if mana is not None:
+                    mana.attach_upper(app, ctx)
+                    mana.init()
+                app.setup(ctx)
+
+            app.run(ctx)
+
+            if mana is not None:
+                mana.finalize()
+            else:
+                lib.finalize()
+            outcome.app = app
+        except JobPreempted:
+            self._preempted = True
+            outcome.app = mana._app if mana is not None else None
+        except BaseException as exc:  # noqa: BLE001 - report any rank death
+            outcome.error = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+            self.fabric.abort(exc)
+            if self.coordinator is not None:
+                self.coordinator.abort(exc)
+        finally:
+            outcome.runtime = clock.now
+            outcome.accounts = clock.accounts()
+            if mana is not None:
+                outcome.cs_count = mana.cs_count
+                outcome.wrapped_calls = mana.wrapped_calls
+                if mana.lower is not None:
+                    outcome.lib_call_counts = dict(mana.lower.call_counts)
+            elif lib is not None:
+                outcome.lib_call_counts = dict(lib.call_counts)
+
+
+class Launcher:
+    """Builds jobs; the SBATCH of this simulation."""
+
+    def __init__(self, config: JobConfig):
+        self.config = config
+
+    def launch(self, app_factory: Callable[[int], object]) -> Job:
+        return Job(self.config, app_factory=app_factory)
+
+    def run(self, app_factory: Callable[[int], object],
+            timeout: Optional[float] = None) -> JobResult:
+        return self.launch(app_factory).run(timeout)
+
+    # ------------------------------------------------------------------
+    def restart(
+        self,
+        ckpt_dir: str,
+        generation: Optional[int] = None,
+        impl_override: Optional[str] = None,
+    ) -> Job:
+        """Cold restart from a checkpoint directory.
+
+        ``impl_override`` restarts the job under a different MPI
+        implementation — the full-interoperability extension of §9
+        (checkpoint under one MPI, restart under another).
+        """
+        manifest = read_manifest(ckpt_dir, generation)
+        if not manifest["cold_restartable"]:
+            raise RestartError(
+                f"generation {manifest['generation']} was an in-session "
+                f"checkpoint (kind={manifest['kind']}); only LOOP-kind "
+                f"images are cold-restartable (DESIGN.md §5)"
+            )
+        gen = manifest["generation"]
+        nranks = manifest["nranks"]
+        images = [
+            load_image(rank_image_path(ckpt_dir, gen, r))
+            for r in range(nranks)
+        ]
+        cfg = JobConfig(
+            nranks=nranks,
+            impl=impl_override or manifest["impl"],
+            platform=self.config.platform,
+            mana=True,
+            vid_design=self.config.vid_design,
+            ggid_policy=self.config.ggid_policy,
+            seed=self.config.seed,
+            ckpt_dir=ckpt_dir,
+            loop_lag_window=self.config.loop_lag_window,
+            epoch=max(img.epoch for img in images) + 1,
+            deadline=self.config.deadline,
+        )
+        return Job(cfg, images=images)
+
+    @staticmethod
+    def available_generations(ckpt_dir: str) -> List[int]:
+        return latest_generations(ckpt_dir)

@@ -1,0 +1,58 @@
+"""Named experimental platforms and per-implementation network profiles.
+
+Section 6's two testbeds:
+
+* **discovery** — Northeastern's local cluster: Linux 3.10 (no userspace
+  FSGSBASE, so MANA pays the ``prctl`` switch cost), TCP interconnect,
+  NFSv3 filesystem.  Per-implementation TCP software paths differ
+  slightly; Open MPI's network calls were observed to be a bit slower on
+  this setup, which (via MANA's polling loops) is the paper's explanation
+  for Open MPI's higher MANA overhead (§6.1).
+* **perlmutter** — NERSC's Perlmutter: Linux 5.14 with FSGSBASE,
+  Slingshot-11, Lustre; Cray MPI.
+
+``cost_model_for`` is the single knob-table for the whole harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.simtime.cost import CostModel, NetworkProfile
+
+# (latency seconds, per-call library software cost seconds) on Discovery TCP.
+_DISCOVERY_TCP = {
+    "mpich": (25e-6, 0.55e-6),
+    "craympi": (25e-6, 0.55e-6),  # MPICH-family stand-in when run locally
+    "openmpi": (31e-6, 0.75e-6),  # slower TCP BTL path (observed, §6.1)
+    "exampi": (34e-6, 0.90e-6),   # experimental C++ stack, least tuned
+}
+
+PLATFORMS = ("discovery", "perlmutter")
+
+
+def cost_model_for(platform: str, impl: str) -> CostModel:
+    """The complete cost model for one (platform, implementation) pair."""
+    if platform == "discovery":
+        base = CostModel.discovery()
+        try:
+            latency, per_call = _DISCOVERY_TCP[impl]
+        except KeyError:
+            raise ValueError(
+                f"unknown implementation {impl!r}; "
+                f"choose from {sorted(_DISCOVERY_TCP)}"
+            ) from None
+        net = NetworkProfile(
+            name=f"discovery-tcp/{impl}",
+            latency=latency,
+            bandwidth=base.network.bandwidth,
+            per_call_overhead=per_call,
+        )
+        return base.with_network(net)
+    if platform == "perlmutter":
+        base = CostModel.perlmutter()
+        net = replace(base.network, name=f"perlmutter-ss11/{impl}")
+        return base.with_network(net)
+    raise ValueError(
+        f"unknown platform {platform!r}; choose from {PLATFORMS}"
+    )

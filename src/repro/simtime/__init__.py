@@ -1,0 +1,19 @@
+"""Virtual time: per-rank clocks and the cost models that advance them.
+
+The paper's timings were taken with SBATCH scripts and ``date``; ours are
+deterministic virtual seconds.  Three cost sources advance a rank's clock:
+
+* compute segments declared by the proxy applications,
+* communication costs charged by the fabric (latency + bytes/bandwidth),
+* MANA's per-call overhead (two half-boundary crossings whose cost is the
+  :class:`KernelProfile` switch cost, plus virtual-id translation cost).
+
+Causality is enforced at the fabric/collective layer: a receive completes
+no earlier than the matching send's timestamp plus latency, and a
+collective synchronizes all participants to the maximum entry time.
+"""
+
+from repro.simtime.clock import VirtualClock
+from repro.simtime.cost import CostModel, KernelProfile, NetworkProfile
+
+__all__ = ["VirtualClock", "CostModel", "KernelProfile", "NetworkProfile"]

@@ -1,0 +1,206 @@
+"""Cost models: kernel profile, network profile, and the combined model.
+
+Calibration philosophy (DESIGN.md §4.6): parameters are set from the
+paper's *observable aggregates* —
+
+* the ``prctl(ARCH_SET_FS, ...)`` switch-pair cost is chosen so that an
+  application making ~400k lower-half entries per rank-second (LAMMPS'
+  22.9M CS/s over 56 ranks) sees ~32% runtime overhead, matching
+  Figure 2 and Section 6.3;
+* the user-space FSGSBASE switch cost is chosen so the same application
+  sees ~5% overhead, matching Figure 4;
+* the legacy-vs-new virtual-id lookup gap is chosen so the highest-rate
+  application gains up to ~1.6%, matching Section 6.1.
+
+Overheads in the figures then *emerge* from (call rate x per-call cost);
+they are not per-application fudge factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """How expensive it is to cross the upper/lower half boundary.
+
+    ``fsgsbase`` selects between the modern user-space instruction
+    (Perlmutter, Linux >= 5.9) and the legacy ``prctl`` system call
+    (Discovery, Linux 3.10).  ``switch_pair_cost`` is the cost in seconds
+    of one entry+exit pair into the lower half.
+    """
+
+    name: str
+    fsgsbase: bool
+    switch_pair_cost: float
+
+    @staticmethod
+    def fsgsbase_profile() -> "KernelProfile":
+        # ~40 ns per call pair: wrfsbase is single-digit ns, the rest is
+        # wrapper bookkeeping.  Together with the lightweight Slingshot
+        # software path this yields the ~5% Figure 4 overheads.
+        return KernelProfile("fsgsbase", True, 0.025e-6)
+
+    @staticmethod
+    def prctl_profile() -> "KernelProfile":
+        # ~0.26 us per call pair (two prctl syscalls).  Combined with the
+        # wrapper's extra internal MPI calls this yields LAMMPS' +32%
+        # (MPICH) / +37% (Open MPI) at its 409k calls/rank/s (Figure 2).
+        return KernelProfile("prctl", False, 0.32e-6)
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Latency/bandwidth of the simulated interconnect plus the software
+    overhead a given MPI implementation adds per network call.
+
+    ``per_call_overhead`` models the implementation's internal software
+    path (progress engine, matching).  The paper observes Open MPI's
+    network calls to be slightly slower on the Discovery TCP setup, which
+    lengthens MANA's ``MPI_Test`` polling loops and hence its measured
+    overhead (Section 6.1); this is the knob that reproduces it.
+    """
+
+    name: str
+    latency: float            # seconds, first byte
+    bandwidth: float          # bytes/second
+    per_call_overhead: float  # seconds of library software path per call
+
+    @staticmethod
+    def discovery_tcp(per_call_overhead: float = 0.55e-6) -> "NetworkProfile":
+        # TCP on the Northeastern "Discovery" cluster: tens of us latency.
+        return NetworkProfile("discovery-tcp", 25e-6, 1.2e9, per_call_overhead)
+
+    @staticmethod
+    def perlmutter_ss11(per_call_overhead: float = 0.06e-6) -> "NetworkProfile":
+        # Slingshot-11 on Perlmutter: ~2 us latency, ~24 GB/s per NIC.
+        return NetworkProfile("perlmutter-ss11", 2e-6, 24e9, per_call_overhead)
+
+
+@dataclass(frozen=True)
+class FilesystemProfile:
+    """Checkpoint target filesystem (Table 3).
+
+    Checkpoint time for a job is modelled as::
+
+        time = fixed_overhead + total_bytes / aggregate_bandwidth
+
+    capped below by ``per_rank_bandwidth`` for any single rank.  The fixed
+    overhead (coordinator barrier + drain + image headers) dominates for
+    small images — which is why Table 3's MB/s/rank *rises* with image
+    size (CoMD 3.6 MB/s/rank at 32 MB vs HPCG 12.8 MB/s/rank at 934 MB).
+    """
+
+    name: str
+    fixed_overhead: float       # seconds per checkpoint
+    aggregate_bandwidth: float  # bytes/second for the whole job
+    per_rank_bandwidth: float   # bytes/second ceiling per rank
+
+    @staticmethod
+    def discovery_nfsv3() -> "FilesystemProfile":
+        return FilesystemProfile("discovery-nfsv3", 7.0, 800e6, 16e6)
+
+    @staticmethod
+    def perlmutter_lustre() -> "FilesystemProfile":
+        return FilesystemProfile("perlmutter-lustre", 1.5, 80e9, 2e9)
+
+
+@dataclass(frozen=True)
+class ManaCostProfile:
+    """Per-call costs inside MANA's wrapper layer.
+
+    ``vid_cost_new`` is the direct table-index translation of the new
+    virtual-id architecture; ``vid_cost_legacy`` is the old design's
+    macro-encoded string comparison plus per-type singleton-map lookup
+    (Section 4.1).  ``poll_cycle`` is the period of MANA's internal
+    ``MPI_Test`` polling loop when wrapping blocking/nonblocking
+    completion; each poll is one extra lower-half crossing.
+    """
+
+    vid_cost_new: float = 15e-9
+    vid_cost_legacy: float = 55e-9
+    poll_cycle: float = 20e-6
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """The complete timing model for one experimental platform."""
+
+    kernel: KernelProfile
+    network: NetworkProfile
+    filesystem: FilesystemProfile
+    mana: ManaCostProfile = field(default_factory=ManaCostProfile)
+    # Relative CPU speed (Discovery Cascade Lake = 1.0); compute segments
+    # declared by apps are divided by this.
+    cpu_speed: float = 1.0
+
+    # -- derived costs ---------------------------------------------------
+    def message_cost(self, nbytes: int) -> float:
+        """Time for one point-to-point message of ``nbytes`` on the wire."""
+        return self.network.latency + nbytes / self.network.bandwidth
+
+    def library_call_cost(self) -> float:
+        """Software cost of entering the MPI library itself (native path)."""
+        return self.network.per_call_overhead
+
+    def wrapper_crossing_cost(self, vid_design: str) -> float:
+        """Extra cost MANA adds to one wrapped MPI call.
+
+        One entry+exit pair into the lower half plus one virtual-id
+        translation.  ``vid_design`` is ``"new"`` or ``"legacy"``.
+        """
+        vid = (
+            self.mana.vid_cost_new
+            if vid_design == "new"
+            else self.mana.vid_cost_legacy
+        )
+        return self.kernel.switch_pair_cost + vid
+
+    def compute_cost(self, seconds_at_reference_speed: float) -> float:
+        return seconds_at_reference_speed / self.cpu_speed
+
+    def with_kernel(self, kernel: KernelProfile) -> "CostModel":
+        return replace(self, kernel=kernel)
+
+    def with_network(self, network: NetworkProfile) -> "CostModel":
+        return replace(self, network=network)
+
+    # -- canned platforms -------------------------------------------------
+    @staticmethod
+    def discovery(per_call_overhead: float = 1.0e-6) -> "CostModel":
+        """The local Northeastern cluster of Sections 6.1-6.3 (no FSGSBASE)."""
+        return CostModel(
+            kernel=KernelProfile.prctl_profile(),
+            network=NetworkProfile.discovery_tcp(per_call_overhead),
+            filesystem=FilesystemProfile.discovery_nfsv3(),
+        )
+
+    @staticmethod
+    def perlmutter() -> "CostModel":
+        """Perlmutter (Section 6.4): FSGSBASE available, fast network/FS."""
+        return CostModel(
+            kernel=KernelProfile.fsgsbase_profile(),
+            network=NetworkProfile.perlmutter_ss11(),
+            filesystem=FilesystemProfile.perlmutter_lustre(),
+            cpu_speed=1.35,  # EPYC 7763 vs Cascade Lake, per-core throughput
+        )
+
+
+def checkpoint_time(
+    fs: FilesystemProfile, nranks: int, bytes_per_rank: int
+) -> float:
+    """Job-wide checkpoint time under the Table 3 filesystem model."""
+    total = nranks * bytes_per_rank
+    agg_time = total / fs.aggregate_bandwidth
+    rank_time = bytes_per_rank / fs.per_rank_bandwidth
+    return fs.fixed_overhead + max(agg_time, rank_time)
+
+
+def platform_table() -> Dict[str, CostModel]:
+    """Named platforms used by the harness."""
+    return {
+        "discovery": CostModel.discovery(),
+        "perlmutter": CostModel.perlmutter(),
+    }

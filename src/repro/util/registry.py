@@ -1,0 +1,91 @@
+"""Registries for named, picklable callables.
+
+Checkpoint images must be self-describing: a user-defined reduction
+operation (``MPI_Op_create``) cannot be pickled as a raw closure and
+still be reconstructible in a *new* session.  MANA therefore records the
+*name* of the registered function, and restart looks the name up again —
+exactly how the real MANA replays ``MPI_Op_create`` with the function
+pointer that the restored upper-half memory still contains.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterator, Optional
+
+
+class FunctionRegistry:
+    """A process-wide name → callable registry.
+
+    Names are stable across sessions (they are chosen by the caller), so a
+    checkpoint image can reference registry entries by name.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._lock = threading.Lock()
+        self._by_name: Dict[str, Callable] = {}
+
+    def register(self, name: str, fn: Callable, *, replace: bool = False) -> Callable:
+        """Register ``fn`` under ``name``; returns ``fn`` for decorator use."""
+        with self._lock:
+            if name in self._by_name and not replace:
+                if self._by_name[name] is not fn:
+                    raise ValueError(
+                        f"{self.kind} registry already has {name!r} "
+                        f"bound to a different function"
+                    )
+            self._by_name[name] = fn
+        return fn
+
+    def lookup(self, name: str) -> Callable:
+        with self._lock:
+            try:
+                return self._by_name[name]
+            except KeyError:
+                raise KeyError(
+                    f"no {self.kind} registered under {name!r}; "
+                    f"user functions must be registered before restart"
+                ) from None
+
+    def name_of(self, fn: Callable) -> Optional[str]:
+        """Reverse lookup; returns None when ``fn`` was never registered."""
+        with self._lock:
+            for name, f in self._by_name.items():
+                if f is fn:
+                    return name
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._by_name
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(sorted(self._by_name))
+
+
+class OpRegistry(FunctionRegistry):
+    """Registry for user-defined MPI reduction functions.
+
+    A reduction function has the signature ``fn(invec, inoutvec)`` and
+    reduces elementwise into ``inoutvec`` (numpy semantics), mirroring the
+    ``MPI_User_function`` contract.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("user reduction op")
+
+
+# The single global op registry used by all simulated jobs.  User apps
+# register their reduction functions here once per process.
+USER_OPS = OpRegistry()
+
+
+def user_op(name: str) -> Callable[[Callable], Callable]:
+    """Decorator: ``@user_op("my_sum")`` registers a reduction function."""
+
+    def deco(fn: Callable) -> Callable:
+        return USER_OPS.register(name, fn)
+
+    return deco

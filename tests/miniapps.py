@@ -1,0 +1,156 @@
+"""Small applications used by the integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import MpiApplication
+from repro.util.registry import user_op
+
+
+@user_op("mini-weighted-sum")
+def weighted_sum(invec, inoutvec):
+    inoutvec += 2.0 * invec  # deliberately not plain SUM
+
+
+class RingApp(MpiApplication):
+    """Send/recv ring + allreduce per iteration; uses a sub-communicator,
+    a committed vector type, and a user op — one of everything MANA must
+    virtualize."""
+
+    name = "ring"
+
+    def __init__(self, niters: int = 40, compute: float = 0.001):
+        self.niters = niters
+        self.compute = compute
+        self.acc = np.zeros(1)
+        self.trace = []
+
+    def setup(self, ctx):
+        MPI = ctx.MPI
+        self.sub = MPI.comm_split(MPI.COMM_WORLD, ctx.rank % 2, ctx.rank)
+        self.vt = MPI.type_vector(2, 1, 2, MPI.DOUBLE)
+        MPI.type_commit(self.vt)
+        self.wsum = MPI.op_create(weighted_sum, True)
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        size, rank = ctx.nranks, ctx.rank
+        for it in ctx.loop("main", self.niters):
+            ctx.compute(self.compute)
+            sb = np.array([float(rank + it)])
+            MPI.send(sb, 1, MPI.DOUBLE, (rank + 1) % size, 5, w)
+            rb = np.zeros(1)
+            MPI.recv(rb, 1, MPI.DOUBLE, (rank - 1) % size, 5, w)
+            out = np.zeros(1)
+            MPI.allreduce(rb, out, 1, MPI.DOUBLE, MPI.SUM, w)
+            self.acc[0] += out[0]
+            sout = np.zeros(1)
+            MPI.allreduce(sb, sout, 1, MPI.DOUBLE, self.wsum, self.sub)
+            self.acc[0] += sout[0]
+            if it % 4 == 0:
+                # exercise the committed derived type
+                src = np.arange(4, dtype=np.float64) + it
+                dst = np.zeros(4)
+                MPI.sendrecv(src, 1, self.vt, (rank + 1) % size, 6,
+                             dst, 1, self.vt, (rank - 1) % size, 6, w)
+                self.acc[0] += dst[2]
+            self.trace.append(float(self.acc[0]))
+
+
+class SkewedSendersApp(MpiApplication):
+    """Rank 0 sends eagerly and runs ahead; receivers lag — guarantees
+    user messages are in flight whenever a checkpoint fires."""
+
+    name = "skewed"
+
+    def __init__(self, niters: int = 30, burst: int = 3):
+        self.niters = niters
+        self.burst = burst
+        self.received = []
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        for it in ctx.loop("main", self.niters):
+            if ctx.rank == 0:
+                for b in range(self.burst):
+                    for dst in range(1, ctx.nranks):
+                        MPI.send(
+                            np.array([it * 100.0 + b]), 1, MPI.DOUBLE,
+                            dst, 20, w,
+                        )
+            else:
+                # Lag: consume only one message per iteration; the rest
+                # pile up in the network.
+                ctx.compute(0.001)
+                if it >= 1:
+                    buf = np.zeros(1)
+                    MPI.recv(buf, 1, MPI.DOUBLE, 0, 20, w)
+                    self.received.append(float(buf[0]))
+        # drain the backlog at the end
+        if ctx.rank != 0:
+            remaining = self.niters * self.burst - len(self.received)
+            for _ in range(remaining):
+                buf = np.zeros(1)
+                MPI.recv(buf, 1, MPI.DOUBLE, 0, 20, w)
+                self.received.append(float(buf[0]))
+
+    def validate(self, ctx):
+        if self.received and self.received != sorted(self.received):
+            return "message order violated (non-overtaking broken)"
+        return None
+
+
+class PendingIrecvApp(MpiApplication):
+    """Posts receives for messages that are sent much later: pending
+    nonblocking requests must survive checkpoint/restart."""
+
+    name = "pending-irecv"
+
+    def __init__(self, niters: int = 24):
+        self.niters = niters
+        self.early = np.zeros(2)
+        self.got_early = False
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        peer = (ctx.rank + 1) % ctx.nranks
+        prev = (ctx.rank - 1) % ctx.nranks
+        req = MPI.irecv(self.early, 2, MPI.DOUBLE, prev, 77, w)
+        for it in ctx.loop("main", self.niters):
+            ctx.compute(0.001)
+            MPI.barrier(w)
+            if it == self.niters - 3:
+                # only now does the matching send happen
+                MPI.send(np.array([1.5, 2.5]), 2, MPI.DOUBLE, peer, 77, w)
+        st = MPI.wait(req)
+        self.got_early = bool(st.count_bytes == 16)
+
+    def validate(self, ctx):
+        if not self.got_early:
+            return "pending irecv never completed"
+        if self.early.tolist() != [1.5, 2.5]:
+            return f"pending irecv corrupted: {self.early}"
+        return None
+
+
+class CommChurnApp(MpiApplication):
+    """Creates and frees communicators every iteration (§9's motivating
+    pattern for the lazy ggid policy)."""
+
+    name = "churn"
+
+    def __init__(self, niters: int = 20):
+        self.niters = niters
+        self.sum_of_sizes = 0
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        for it in ctx.loop("main", self.niters):
+            sub = MPI.comm_split(MPI.COMM_WORLD, it % 2 == ctx.rank % 2, ctx.rank)
+            self.sum_of_sizes += MPI.comm_size(sub)
+            MPI.barrier(sub)
+            MPI.comm_free(sub)

@@ -1,0 +1,118 @@
+"""Sweep: checkpoints injected at many points must never change results.
+
+This is the drain/replay conservation property, exercised across
+checkpoint positions, modes, and applications — the closest practical
+analogue to a property-based test over the nondeterministic interleaving
+space (the position sweep samples different in-flight message sets).
+"""
+
+import pytest
+
+from repro import JobConfig, Launcher
+from tests.miniapps import PendingIrecvApp, RingApp, SkewedSendersApp
+
+NRANKS = 4
+
+
+def baseline(app_factory):
+    res = Launcher(JobConfig(nranks=NRANKS, impl="mpich", mana=True)).run(
+        app_factory, timeout=120
+    )
+    assert res.status == "completed", res.first_error()
+    return res
+
+
+def summarize(res):
+    out = []
+    for a in res.apps():
+        if hasattr(a, "acc"):
+            out.append(("acc", float(a.acc[0])))
+        if hasattr(a, "received"):
+            out.append(("recv", tuple(a.received)))
+        if hasattr(a, "early"):
+            out.append(("early", tuple(a.early.tolist())))
+    return out
+
+
+@pytest.mark.parametrize("at_iter", [1, 5, 9, 13, 17])
+def test_ring_checkpoint_position_sweep(at_iter):
+    base = summarize(baseline(lambda r: RingApp(20)))
+    job = Launcher(JobConfig(nranks=NRANKS, impl="mpich", mana=True)).launch(
+        lambda r: RingApp(20)
+    )
+    tk = job.checkpoint_at_iteration("main", at_iter, mode="relaunch")
+    job.start()
+    tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "completed", res.first_error()
+    assert summarize(res) == base
+
+
+@pytest.mark.parametrize("at_iter", [2, 6, 11])
+def test_skewed_senders_sweep(at_iter):
+    """Different positions capture different numbers of in-flight
+    messages; all must drain and replay exactly."""
+    base = summarize(baseline(lambda r: SkewedSendersApp(14)))
+    job = Launcher(JobConfig(nranks=NRANKS, impl="mpich", mana=True)).launch(
+        lambda r: SkewedSendersApp(14)
+    )
+    tk = job.checkpoint_at_iteration("main", at_iter, mode="relaunch")
+    job.start()
+    info = tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "completed", res.first_error()
+    assert summarize(res) == base
+    assert info["bytes_per_rank"]
+
+
+@pytest.mark.parametrize("at_iter", [3, 12, 20])
+def test_pending_irecv_sweep(at_iter):
+    """Checkpoints before/around/after the late send that completes the
+    early-posted irecv."""
+    job = Launcher(JobConfig(nranks=NRANKS, impl="mpich", mana=True)).launch(
+        lambda r: PendingIrecvApp(24)
+    )
+    tk = job.checkpoint_at_iteration("main", at_iter, mode="relaunch")
+    job.start()
+    tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "completed", res.first_error()
+    for app in res.apps():
+        assert app.validate(None) is None
+
+
+@pytest.mark.parametrize("mode", ["continue", "relaunch"])
+@pytest.mark.parametrize("impl", ["mpich", "openmpi"])
+def test_back_to_back_checkpoints(mode, impl):
+    """Two checkpoints four iterations apart: the second must cope with
+    whatever state the first left (drain buffers, rebound handles)."""
+    base = summarize(baseline(lambda r: RingApp(24)))
+    job = Launcher(JobConfig(nranks=NRANKS, impl=impl, mana=True)).launch(
+        lambda r: RingApp(24)
+    )
+    t1 = job.checkpoint_at_iteration("main", 5, mode=mode)
+    job.start()
+    t1.wait(120)
+    t2 = job.coordinator.checkpoint_at_iteration("main", 9, mode=mode)
+    t2.wait(120)
+    res = job.wait(120)
+    assert res.status == "completed", res.first_error()
+    # openmpi baseline differs only in timing, not results
+    if impl == "mpich":
+        assert summarize(res) == base
+
+
+def test_checkpoint_during_comm_churn():
+    """Checkpoint while the app creates/frees communicators every
+    iteration: replay must rebuild exactly the live set."""
+    from tests.miniapps import CommChurnApp
+
+    job = Launcher(JobConfig(nranks=NRANKS, impl="mpich", mana=True)).launch(
+        lambda r: CommChurnApp(16)
+    )
+    tk = job.checkpoint_at_iteration("main", 7, mode="relaunch")
+    job.start()
+    tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "completed", res.first_error()
+    assert all(a.sum_of_sizes > 0 for a in res.apps())

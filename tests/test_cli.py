@@ -1,0 +1,77 @@
+"""CLI smoke tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_apps_listing(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for app in ("comd", "hpcg", "lammps", "lulesh", "sw4", "gromacs"):
+        assert app in out
+
+
+def test_impls_listing(capsys):
+    assert main(["impls"]) == 0
+    out = capsys.readouterr().out
+    assert "openmpi" in out and "64" in out
+    assert "mpich" in out and "32" in out
+
+
+def test_run_native(capsys):
+    assert main(["run", "lulesh", "--ranks", "4", "--blocks", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "status   : completed" in out
+
+
+def test_run_mana(capsys):
+    rc = main(["run", "comd", "--ranks", "4", "--blocks", "3", "--mana"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "crossings" in out
+
+
+def test_preempt_and_restart_roundtrip(tmp_path, capsys):
+    ck = str(tmp_path / "ck")
+    rc = main([
+        "run", "comd", "--ranks", "4", "--blocks", "8",
+        "--preempt-at", "2", "--ckpt-dir", ck, "--lag-window", "2",
+    ])
+    assert rc == 0
+    assert "preempted" in capsys.readouterr().out
+    rc = main(["restart", ck])
+    assert rc == 0
+    assert "completed" in capsys.readouterr().out
+
+
+def test_restart_under_other_impl(tmp_path, capsys):
+    ck = str(tmp_path / "ck")
+    main([
+        "run", "lammps", "--ranks", "4", "--blocks", "8",
+        "--preempt-at", "2", "--ckpt-dir", ck, "--lag-window", "2",
+    ])
+    capsys.readouterr()
+    rc = main(["restart", ck, "--impl", "exampi"])
+    assert rc == 0
+    assert "restarted under exampi" in capsys.readouterr().out
+
+
+def test_report_single_table(capsys):
+    assert main(["report", "table1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_report_ablation(capsys):
+    assert main(["report", "ablation_vid_lookup"]) == 0
+    out = capsys.readouterr().out
+    assert "legacy" in out and "new" in out
+
+
+def test_legacy_vid_run_fails_on_openmpi(capsys):
+    rc = main([
+        "run", "comd", "--ranks", "2", "--blocks", "2", "--mana",
+        "--impl", "openmpi", "--vid-design", "legacy",
+    ])
+    assert rc == 1
+    assert "IncompatibleHandleError" in capsys.readouterr().out

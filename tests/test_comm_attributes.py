@@ -1,0 +1,137 @@
+"""Communicator attributes: native semantics + MANA record caching."""
+
+import numpy as np
+import pytest
+
+from repro import JobConfig, Launcher, MpiApplication
+from repro.util.errors import MpiError
+from tests.conftest import facade_world, run_ranks
+
+
+class TestNativeAttributes:
+    def test_set_get_delete(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        w = MPI.COMM_WORLD
+        kv = MPI.comm_create_keyval()
+        flag, _ = MPI.comm_get_attr(w, kv)
+        assert not flag
+        MPI.comm_set_attr(w, kv, {"tile": 16})
+        flag, val = MPI.comm_get_attr(w, kv)
+        assert flag and val == {"tile": 16}
+        MPI.comm_delete_attr(w, kv)
+        flag, _ = MPI.comm_get_attr(w, kv)
+        assert not flag
+        MPI.comm_free_keyval(kv)
+
+    def test_unknown_keyval_rejected(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        with pytest.raises(MpiError, match="keyval"):
+            MPI.comm_set_attr(MPI.COMM_WORLD, 424242, 1)
+
+    def test_attrs_are_per_communicator(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        w = MPI.COMM_WORLD
+        d = MPI.comm_dup(w)
+        kv = MPI.comm_create_keyval()
+        MPI.comm_set_attr(w, kv, "on world")
+        flag, _ = MPI.comm_get_attr(d, kv)
+        assert not flag  # NULL copy function: dup does not inherit
+
+
+class AttrApp(MpiApplication):
+    """Stores solver configuration as comm attributes (a common real-world
+    pattern, e.g. PETSc) and keeps using them across checkpoints."""
+
+    def __init__(self):
+        self.observed = []
+
+    def setup(self, ctx):
+        MPI = ctx.MPI
+        self.sub = MPI.comm_split(MPI.COMM_WORLD, 0, ctx.rank)
+        self.kv = MPI.comm_create_keyval()
+        MPI.comm_set_attr(self.sub, self.kv, {"levels": 3, "rank": ctx.rank})
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        for it in ctx.loop("main", 16):
+            flag, val = MPI.comm_get_attr(self.sub, self.kv)
+            assert flag, "attribute lost!"
+            self.observed.append((it, val["levels"], val["rank"]))
+            MPI.barrier(MPI.COMM_WORLD)
+
+    def validate(self, ctx):
+        if len(self.observed) != 16:
+            return f"observed {len(self.observed)}/16 attribute reads"
+        if any(levels != 3 for _, levels, _ in self.observed):
+            return "attribute value corrupted"
+        return None
+
+
+class TestManaAttributes:
+    def test_attrs_survive_relaunch(self):
+        job = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).launch(
+            lambda r: AttrApp()
+        )
+        tk = job.checkpoint_at_iteration("main", 6, mode="relaunch")
+        job.start()
+        tk.wait(60)
+        res = job.wait(60)
+        assert res.status == "completed", res.first_error()
+        for app in res.apps():
+            assert app.validate(None) is None
+
+    def test_attrs_survive_cold_cross_impl_restart(self, tmp_path):
+        ckdir = str(tmp_path / "ck")
+        cfg = JobConfig(nranks=4, impl="mpich", mana=True, ckpt_dir=ckdir,
+                        loop_lag_window=2)
+        job = Launcher(cfg).launch(lambda r: AttrApp())
+        tk = job.checkpoint_at_iteration("main", 4, kind="loop", mode="exit")
+        job.start()
+        tk.wait(60)
+        assert job.wait(60).status == "preempted"
+        job2 = Launcher(cfg).restart(ckdir, impl_override="openmpi")
+        res2 = job2.run(timeout=60)
+        assert res2.status == "completed", res2.first_error()
+        for app in res2.apps():
+            assert app.validate(None) is None
+
+    def test_keyvals_survive_cold_restart(self, tmp_path):
+        """A keyval created before the checkpoint must accept new
+        attributes after the restart (counter persisted in the table)."""
+
+        ckdir = str(tmp_path / "ck")
+        cfg = JobConfig(nranks=2, impl="mpich", mana=True, ckpt_dir=ckdir,
+                        loop_lag_window=2)
+        job = Launcher(cfg).launch(lambda r: KeyvalReuseApp())
+        tk = job.checkpoint_at_iteration("main", 3, kind="loop", mode="exit")
+        job.start()
+        tk.wait(60)
+        assert job.wait(60).status == "preempted"
+        res = Launcher(cfg).restart(ckdir).run(timeout=60)
+        assert res.status == "completed", res.first_error()
+        for app in res.apps():
+            assert app.post_restart_kv_ok
+
+
+class KeyvalReuseApp(MpiApplication):
+    def __init__(self):
+        self.post_restart_kv_ok = False
+
+    def setup(self, ctx):
+        self.kv = ctx.MPI.comm_create_keyval()
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        for it in ctx.loop("main", 10):
+            MPI.comm_set_attr(w, self.kv, it)
+            MPI.barrier(w)
+        # after any restart: old keyval still valid, new ones distinct
+        kv2 = MPI.comm_create_keyval()
+        assert kv2 != self.kv
+        MPI.comm_set_attr(w, kv2, "fresh")
+        flag, val = MPI.comm_get_attr(w, self.kv)
+        self.post_restart_kv_ok = bool(flag and val == 9 and kv2 != self.kv)

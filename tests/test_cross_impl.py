@@ -1,0 +1,121 @@
+"""Cross-implementation restart: checkpoint under impl A, restart under B.
+
+[GPC19 §3.6] demonstrated this only for a primitives-only application;
+the paper's §9 identifies full interoperability as future work enabled by
+the new virtual-id design.  The simulation implements it fully, so every
+(A, B) pair is tested — including 32-bit <-> 64-bit handle transitions.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import JobConfig, Launcher
+from tests.conftest import ALL_IMPLS
+from tests.miniapps import RingApp
+
+NRANKS = 4
+PAIRS = [(a, b) for a, b in itertools.product(ALL_IMPLS, ALL_IMPLS) if a != b]
+
+
+def preempt_under(impl, app_factory, ckdir, at_iter=8, niters=24):
+    cfg = JobConfig(nranks=NRANKS, impl=impl, mana=True, ckpt_dir=ckdir)
+    job = Launcher(cfg).launch(app_factory)
+    tk = job.checkpoint_at_iteration("main", at_iter, kind="loop", mode="exit")
+    job.start()
+    tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "preempted", res.first_error()
+    return cfg
+
+
+@pytest.mark.parametrize("src,dst", PAIRS)
+def test_full_app_cross_restart(src, dst, tmp_path):
+    """A full-featured app (sub-comms, derived types, user ops) restarts
+    under a different implementation with identical results."""
+    base = Launcher(
+        JobConfig(nranks=NRANKS, impl=src, mana=True)
+    ).run(lambda r: RingApp(24), timeout=120)
+    assert base.status == "completed", base.first_error()
+    expect = [a.acc[0] for a in base.apps()]
+
+    ckdir = str(tmp_path / "ck")
+    cfg = preempt_under(src, lambda r: RingApp(24), ckdir)
+    job2 = Launcher(cfg).restart(ckdir, impl_override=dst)
+    res2 = job2.run(timeout=120)
+    assert res2.status == "completed", res2.first_error()
+    assert [a.acc[0] for a in res2.apps()] == expect
+    # The restarted job really runs the other implementation.
+    assert all(m.impl_name == dst for m in job2.manas)
+
+
+def test_handle_width_transition_32_to_64(tmp_path):
+    """MPICH (32-bit int handles) -> Open MPI (64-bit pointers): the
+    virtual handles stored in app state keep working."""
+    ckdir = str(tmp_path / "ck")
+    cfg = preempt_under("mpich", lambda r: RingApp(24), ckdir)
+    job = Launcher(cfg).restart(ckdir, impl_override="openmpi")
+    res = job.run(timeout=120)
+    assert res.status == "completed", res.first_error()
+    assert all(m.lower.handles.handle_bits == 64 for m in job.manas)
+
+
+def test_handle_width_transition_64_to_32(tmp_path):
+    ckdir = str(tmp_path / "ck")
+    cfg = preempt_under("openmpi", lambda r: RingApp(24), ckdir)
+    job = Launcher(cfg).restart(ckdir, impl_override="mpich")
+    res = job.run(timeout=120)
+    assert res.status == "completed", res.first_error()
+    assert all(m.lower.handles.handle_bits == 32 for m in job.manas)
+
+
+def test_three_hop_chain(tmp_path):
+    """mpich -> openmpi -> exampi, preempted at each hop."""
+    base = Launcher(
+        JobConfig(nranks=NRANKS, impl="mpich", mana=True)
+    ).run(lambda r: RingApp(30), timeout=120)
+    expect = [a.acc[0] for a in base.apps()]
+
+    ckdir = str(tmp_path / "ck")
+    cfg = preempt_under("mpich", lambda r: RingApp(30), ckdir, at_iter=4,
+                        niters=30)
+    job2 = Launcher(cfg).restart(ckdir, impl_override="openmpi")
+    tk = job2.coordinator.checkpoint_at_iteration(
+        "main", 18, kind="loop", mode="exit"
+    )
+    job2.start()
+    tk.wait(120)
+    assert job2.wait(120).status == "preempted"
+
+    job3 = Launcher(cfg).restart(ckdir, impl_override="exampi")
+    res3 = job3.run(timeout=120)
+    assert res3.status == "completed", res3.first_error()
+    assert [a.acc[0] for a in res3.apps()] == expect
+
+
+class ConstWitness(RingApp):
+    """Records the vid of MPI.COMM_WORLD at each (re)entry of run()."""
+
+    def run(self, ctx):
+        from repro.mana.virtid import VirtualIdTable
+
+        self.world_handles = getattr(self, "world_handles", [])
+        self.world_handles.append(
+            VirtualIdTable.extract(ctx.MPI.COMM_WORLD)
+        )
+        super().run(ctx)
+
+
+def test_virtual_constants_stable_across_implementations(tmp_path):
+    """MPI.COMM_WORLD as seen by the app is the same virtual handle
+    before (mpich) and after (openmpi) — while the physical ids differ
+    wildly.  The §4.3 constants-as-functions machinery."""
+    ckdir = str(tmp_path / "ck")
+    cfg = preempt_under("mpich", lambda r: ConstWitness(24), ckdir)
+    job2 = Launcher(cfg).restart(ckdir, impl_override="openmpi")
+    res2 = job2.run(timeout=120)
+    assert res2.status == "completed", res2.first_error()
+    for app in res2.apps():
+        first, second = app.world_handles
+        assert first == second  # same 32-bit virtual id across impls

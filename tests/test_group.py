@@ -1,0 +1,127 @@
+"""Group set-algebra and ggid tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import constants as C
+from repro.mpi.group import EMPTY_GROUP, GroupData, ggid_of
+from repro.util.errors import MpiError
+
+
+class TestBasics:
+    def test_size_and_ranks(self):
+        g = GroupData((4, 2, 7))
+        assert g.size == 3
+        assert g.world_rank(0) == 4
+        assert g.rank_of(7) == 2
+        assert g.rank_of(99) == C.UNDEFINED
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(MpiError):
+            GroupData((1, 1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(MpiError):
+            GroupData((0, -3))
+
+    def test_world_rank_out_of_range(self):
+        g = GroupData((0, 1))
+        with pytest.raises(MpiError):
+            g.world_rank(2)
+
+    def test_empty_group(self):
+        assert EMPTY_GROUP.size == 0
+        assert EMPTY_GROUP.rank_of(0) == C.UNDEFINED
+
+
+class TestConstructiveOps:
+    def setup_method(self):
+        self.g = GroupData((10, 20, 30, 40))
+
+    def test_incl_reorders(self):
+        assert self.g.incl([3, 0]).ranks == (40, 10)
+
+    def test_excl_preserves_order(self):
+        assert self.g.excl([1]).ranks == (10, 30, 40)
+
+    def test_union_order(self):
+        other = GroupData((30, 50))
+        assert self.g.union(other).ranks == (10, 20, 30, 40, 50)
+
+    def test_intersection_keeps_first_order(self):
+        other = GroupData((40, 20))
+        assert self.g.intersection(other).ranks == (20, 40)
+
+    def test_difference(self):
+        other = GroupData((20, 99))
+        assert self.g.difference(other).ranks == (10, 30, 40)
+
+    def test_translate_ranks(self):
+        a = GroupData((5, 6, 7))
+        b = GroupData((7, 5))
+        assert a.translate_ranks([0, 1, 2], b) == [1, C.UNDEFINED, 0]
+
+    def test_translate_proc_null_passthrough(self):
+        a = GroupData((5,))
+        b = GroupData((5,))
+        assert a.translate_ranks([C.PROC_NULL, 0], b) == [C.PROC_NULL, 0]
+
+    def test_compare(self):
+        a = GroupData((1, 2, 3))
+        assert a.compare(GroupData((1, 2, 3))) == C.IDENT
+        assert a.compare(GroupData((3, 2, 1))) == C.SIMILAR
+        assert a.compare(GroupData((1, 2))) == C.UNEQUAL
+
+
+class TestGgid:
+    def test_deterministic(self):
+        assert ggid_of((0, 5, 9)) == ggid_of((0, 5, 9))
+
+    def test_order_invariant(self):
+        # ggid identifies membership, not ordering: every member rank
+        # must compute the same ggid regardless of local ordering.
+        assert ggid_of((9, 0, 5)) == ggid_of((0, 5, 9))
+
+    def test_fits_29_bits(self):
+        assert 0 <= ggid_of(tuple(range(500))) < (1 << 29)
+
+    def test_distinct_memberships_distinct_ggids(self):
+        seen = {ggid_of((i, i + 1)) for i in range(200)}
+        assert len(seen) == 200  # no collisions in a small neighborhood
+
+    def test_subset_differs(self):
+        assert ggid_of((0, 1, 2)) != ggid_of((0, 1))
+
+
+@given(st.sets(st.integers(0, 63), min_size=1, max_size=16))
+@settings(max_examples=80, deadline=None)
+def test_property_group_laws(ranks):
+    ranks = tuple(sorted(ranks))
+    g = GroupData(ranks)
+    # union with itself is identity
+    assert g.union(g).ranks == g.ranks
+    # intersection with itself is identity
+    assert g.intersection(g).ranks == g.ranks
+    # difference with itself is empty
+    assert g.difference(g).size == 0
+    # incl of all indices reproduces the group
+    assert g.incl(list(range(g.size))).ranks == g.ranks
+    # excl of nothing reproduces the group
+    assert g.excl([]).ranks == g.ranks
+
+
+@given(
+    st.sets(st.integers(0, 63), min_size=1, max_size=12),
+    st.sets(st.integers(0, 63), min_size=1, max_size=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_translate_consistency(a_ranks, b_ranks):
+    a = GroupData(tuple(sorted(a_ranks)))
+    b = GroupData(tuple(sorted(b_ranks)))
+    trans = a.translate_ranks(list(range(a.size)), b)
+    for i, t in enumerate(trans):
+        if t == C.UNDEFINED:
+            assert a.world_rank(i) not in b.ranks
+        else:
+            assert b.world_rank(t) == a.world_rank(i)

@@ -1,0 +1,514 @@
+"""Behavioral MPI semantics, parametrized across all four implementations.
+
+Whatever their handle designs, all implementations must agree on MPI
+semantics — this is what lets MANA treat them interchangeably.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi.objects import Status
+from repro.util.errors import MpiError, TruncationError, UnsupportedFunctionError
+from repro.util.registry import user_op
+from tests.conftest import ALL_IMPLS, facade_world, run_ranks
+
+
+def world_of(MPI):
+    return MPI.COMM_WORLD
+
+
+class TestPointToPoint:
+    def test_ring(self, impl_name):
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            MPI.send(np.array([r], dtype=np.int32), 1, MPI.INT,
+                     (r + 1) % 4, 1, w)
+            buf = np.zeros(1, dtype=np.int32)
+            st = MPI.recv(buf, 1, MPI.INT, (r - 1) % 4, 1, w)
+            return int(buf[0]), st.source, st.tag
+
+        out = run_ranks(4, body)
+        for r, (v, src, tag) in enumerate(out):
+            assert v == (r - 1) % 4
+            assert src == (r - 1) % 4 and tag == 1
+
+    def test_any_source_any_tag(self, impl_name):
+        _, mpi_for = facade_world(3, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            if r != 0:
+                MPI.send(np.array([r * 1.5]), 1, MPI.DOUBLE, 0, 10 + r, w)
+                return None
+            got = []
+            for _ in range(2):
+                buf = np.zeros(1)
+                st = MPI.recv(buf, 1, MPI.DOUBLE, MPI.ANY_SOURCE,
+                              MPI.ANY_TAG, w)
+                got.append((st.source, st.tag, float(buf[0])))
+            return sorted(got)
+
+        out = run_ranks(3, body)
+        assert out[0] == [(1, 11, 1.5), (2, 12, 3.0)]
+
+    def test_proc_null_send_recv(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        w = MPI.COMM_WORLD
+        MPI.send(np.zeros(1), 1, MPI.DOUBLE, MPI.PROC_NULL, 0, w)
+        st = MPI.recv(np.zeros(1), 1, MPI.DOUBLE, MPI.PROC_NULL, 0, w)
+        assert st.source == MPI.PROC_NULL
+
+    def test_nonblocking_roundtrip(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            recv = np.zeros(4)
+            rreq = MPI.irecv(recv, 4, MPI.DOUBLE, 1 - r, 3, w)
+            sreq = MPI.isend(np.full(4, float(r)), 4, MPI.DOUBLE, 1 - r, 3, w)
+            MPI.waitall([rreq, sreq])
+            return recv.tolist()
+
+        out = run_ranks(2, body)
+        assert out[0] == [1.0] * 4 and out[1] == [0.0] * 4
+
+    def test_test_polls_until_complete(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            if r == 1:
+                import time
+
+                time.sleep(0.05)
+                MPI.send(np.array([7.0]), 1, MPI.DOUBLE, 0, 9, w)
+                return True
+            buf = np.zeros(1)
+            req = MPI.irecv(buf, 1, MPI.DOUBLE, 1, 9, w)
+            polls = 0
+            while True:
+                flag, st = MPI.test(req)
+                if flag:
+                    return buf[0] == 7.0
+                polls += 1
+                assert polls < 100000
+
+        assert all(run_ranks(2, body))
+
+    def test_iprobe_then_recv(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            if r == 1:
+                MPI.send(np.arange(3.0), 3, MPI.DOUBLE, 0, 5, w)
+                return None
+            while True:
+                flag, st = MPI.iprobe(MPI.ANY_SOURCE, MPI.ANY_TAG, w)
+                if flag:
+                    break
+            assert st.count_bytes == 24
+            buf = np.zeros(3)
+            MPI.recv(buf, 3, MPI.DOUBLE, st.source, st.tag, w)
+            return buf.tolist()
+
+        assert run_ranks(2, body)[0] == [0.0, 1.0, 2.0]
+
+    def test_sendrecv_exchange(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            out = np.array([float(r)])
+            inp = np.zeros(1)
+            MPI.sendrecv(out, 1, MPI.DOUBLE, 1 - r, 2,
+                         inp, 1, MPI.DOUBLE, 1 - r, 2, w)
+            return float(inp[0])
+
+        assert run_ranks(2, body) == [1.0, 0.0]
+
+    def test_truncation_error(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            if r == 0:
+                MPI.send(np.zeros(10), 10, MPI.DOUBLE, 1, 1, w)
+                return None
+            with pytest.raises(TruncationError):
+                MPI.recv(np.zeros(2), 2, MPI.DOUBLE, 0, 1, w)
+            return True
+
+        run_ranks(2, body)
+
+    def test_get_count(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        st = Status(count_bytes=32)
+        assert MPI.get_count(st, MPI.DOUBLE) == 4
+        assert MPI.get_count(st, MPI.INT) == 8
+
+    def test_uncommitted_datatype_rejected(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        t = MPI.type_contiguous(2, MPI.DOUBLE)
+        with pytest.raises(MpiError, match="commit"):
+            MPI.send(np.zeros(4), 1, t, MPI.PROC_NULL + 0 if False else 0,
+                     0, MPI.COMM_SELF)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("nranks", [1, 2, 5, 8])
+    def test_barrier_all_sizes(self, impl_name, nranks):
+        _, mpi_for = facade_world(nranks, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            MPI.barrier(MPI.COMM_WORLD)
+            return True
+
+        assert all(run_ranks(nranks, body))
+
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_bcast(self, impl_name, root):
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            buf = np.full(3, float(r * 100))
+            if r == root:
+                buf[:] = [1.0, 2.0, 3.0]
+            MPI.bcast(buf, 3, MPI.DOUBLE, root, MPI.COMM_WORLD)
+            return buf.tolist()
+
+        assert run_ranks(4, body) == [[1.0, 2.0, 3.0]] * 4
+
+    def test_allreduce_sum_matches_numpy(self, impl_name):
+        _, mpi_for = facade_world(5, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            src = np.array([r + 1.0, r * 2.0])
+            out = np.zeros(2)
+            MPI.allreduce(src, out, 2, MPI.DOUBLE, MPI.SUM, MPI.COMM_WORLD)
+            return out.tolist()
+
+        expect = [sum(range(1, 6)), sum(2 * r for r in range(5))]
+        for got in run_ranks(5, body):
+            assert got == expect
+
+    @pytest.mark.parametrize("opname,reducer", [
+        ("MAX", max), ("MIN", min), ("PROD", lambda xs: np.prod(xs)),
+    ])
+    def test_reduce_predefined_ops(self, impl_name, opname, reducer):
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            src = np.array([float(r + 1)])
+            out = np.zeros(1)
+            MPI.reduce(src, out, 1, MPI.DOUBLE, getattr(MPI, opname), 0,
+                       MPI.COMM_WORLD)
+            return float(out[0])
+
+        out = run_ranks(4, body)
+        assert out[0] == pytest.approx(float(reducer([1.0, 2.0, 3.0, 4.0])))
+
+    def test_maxloc(self, impl_name):
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            pair = np.zeros(1, dtype=[("value", "f8"), ("index", "i4")])
+            pair["value"] = [10.0 if r == 2 else float(r)]
+            pair["index"] = r
+            out = np.zeros_like(pair)
+            MPI.allreduce(pair, out, 1, MPI.DOUBLE_INT, MPI.MAXLOC,
+                          MPI.COMM_WORLD)
+            return float(out["value"][0]), int(out["index"][0])
+
+        assert set(run_ranks(4, body)) == {(10.0, 2)}
+
+    def test_user_op_non_commutative_order(self, impl_name):
+        @user_op(f"takes-first-{impl_name}")
+        def take_first(invec, inoutvec):
+            # result = invec op inoutvec; "op" keeps the left operand, so
+            # a left-fold yields rank 0's contribution.
+            inoutvec[:] = invec
+
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            op = MPI.op_create(take_first, False)
+            src = np.array([float(r + 1)])
+            out = np.zeros(1)
+            MPI.allreduce(src, out, 1, MPI.DOUBLE, op, MPI.COMM_WORLD)
+            return float(out[0])
+
+        assert run_ranks(4, body) == [1.0] * 4  # rank order respected
+
+    def test_gather_scatter(self, impl_name):
+        _, mpi_for = facade_world(3, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            send = np.array([float(r), float(r * 10)])
+            gathered = np.zeros(6) if r == 1 else np.zeros(6)
+            MPI.gather(send, 2, MPI.DOUBLE, gathered, 2, MPI.DOUBLE, 1, w)
+            back = np.zeros(2)
+            MPI.scatter(gathered, 2, MPI.DOUBLE, back, 2, MPI.DOUBLE, 1, w)
+            return gathered.tolist() if r == 1 else back.tolist()
+
+        out = run_ranks(3, body)
+        assert out[1] == [0.0, 0.0, 1.0, 10.0, 2.0, 20.0]
+        assert out[0] == [0.0, 0.0] and out[2] == [2.0, 20.0]
+
+    def test_allgather(self, impl_name):
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            out = np.zeros(4, dtype=np.int32)
+            MPI.allgather(np.array([r * r], dtype=np.int32), 1, MPI.INT,
+                          out, 1, MPI.INT, MPI.COMM_WORLD)
+            return out.tolist()
+
+        assert run_ranks(4, body) == [[0, 1, 4, 9]] * 4
+
+    def test_alltoall(self, impl_name):
+        _, mpi_for = facade_world(3, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            send = np.array([10 * r + c for c in range(3)], dtype=np.int32)
+            recv = np.zeros(3, dtype=np.int32)
+            MPI.alltoall(send, 1, MPI.INT, recv, 1, MPI.INT, MPI.COMM_WORLD)
+            return recv.tolist()
+
+        out = run_ranks(3, body)
+        for r in range(3):
+            assert out[r] == [10 * s + r for s in range(3)]
+
+    def test_vector_collectives_where_supported(self, impl_name):
+        _, mpi_for = facade_world(3, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            counts = [1, 2, 3]
+            displs = [0, 1, 3]
+            send = np.full(counts[r], float(r))
+            recv = np.zeros(6)
+            try:
+                MPI.allgatherv(send, counts[r], MPI.DOUBLE,
+                               recv, counts, displs, MPI.DOUBLE, w)
+            except UnsupportedFunctionError:
+                return "unsupported"
+            return recv.tolist()
+
+        out = run_ranks(3, body)
+        if impl_name == "exampi":
+            assert out == ["unsupported"] * 3
+        else:
+            assert out == [[0.0, 1.0, 1.0, 2.0, 2.0, 2.0]] * 3
+
+
+class TestCommunicatorManagement:
+    def test_split_halves(self, impl_name):
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            sub = MPI.comm_split(MPI.COMM_WORLD, r % 2, r)
+            size = MPI.comm_size(sub)
+            rank = MPI.comm_rank(sub)
+            # verify isolation: traffic on sub cannot cross colors
+            out = np.zeros(1)
+            MPI.allreduce(np.array([float(r)]), out, 1, MPI.DOUBLE,
+                          MPI.SUM, sub)
+            return size, rank, float(out[0])
+
+        out = run_ranks(4, body)
+        assert out[0] == (2, 0, 2.0) and out[2] == (2, 1, 2.0)
+        assert out[1] == (2, 0, 4.0) and out[3] == (2, 1, 4.0)
+
+    def test_split_undefined_gets_null(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            color = 0 if r == 0 else MPI.UNDEFINED
+            sub = MPI.comm_split(MPI.COMM_WORLD, color, 0)
+            return sub == MPI.COMM_NULL
+
+        assert run_ranks(2, body) == [False, True]
+
+    def test_comm_create_from_group(self, impl_name):
+        _, mpi_for = facade_world(3, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            g = MPI.comm_group(w)
+            sub_g = MPI.group_incl(g, [0, 2])
+            sub = MPI.comm_create(w, sub_g)
+            if r == 1:
+                return sub == MPI.COMM_NULL
+            return MPI.comm_size(sub), MPI.comm_rank(sub)
+
+        out = run_ranks(3, body)
+        assert out[1] is True
+        assert out[0] == (2, 0) and out[2] == (2, 1)
+
+    def test_dup_is_congruent_but_isolated(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            d = MPI.comm_dup(w)
+            cmp = MPI.comm_compare(w, d)
+            # message sent on dup must not match a recv on world
+            MPI.send(np.array([1.0]), 1, MPI.DOUBLE, 1 - r, 7, d)
+            flag, _ = MPI.iprobe(1 - r, 7, w)
+            buf = np.zeros(1)
+            MPI.recv(buf, 1, MPI.DOUBLE, 1 - r, 7, d)
+            return cmp, flag
+
+        for cmp, flag in run_ranks(2, body):
+            assert cmp == 1  # CONGRUENT
+            assert flag is False
+
+    def test_free_predefined_rejected(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        with pytest.raises(MpiError):
+            MPI.comm_free(MPI.COMM_WORLD)
+
+    def test_group_ops_through_api(self, impl_name):
+        _, mpi_for = facade_world(4, impl_name)
+        MPI = mpi_for(0)
+        w = MPI.COMM_WORLD
+        g = MPI.comm_group(w)
+        assert MPI.group_size(g) == 4
+        assert MPI.group_rank(g) == 0
+        evens = MPI.group_incl(g, [0, 2])
+        odds = MPI.group_excl(g, [0, 2])
+        assert MPI.group_size(evens) == 2 and MPI.group_size(odds) == 2
+        u = MPI.group_union(evens, odds)
+        assert MPI.group_size(u) == 4
+        i = MPI.group_intersection(u, evens)
+        assert MPI.group_compare(i, evens) == MPI.IDENT
+        assert MPI.group_translate_ranks(evens, [0, 1], g) == [0, 2]
+        for h in (evens, odds, u, i, g):
+            MPI.group_free(h)
+
+
+class TestDatatypeApi:
+    def test_envelope_contents_via_handles(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        v = MPI.type_vector(3, 1, 2, MPI.DOUBLE)
+        env = MPI.type_get_envelope(v)
+        assert env.combiner == "MPI_COMBINER_VECTOR"
+        ints, addrs, types = MPI.type_get_contents(v)
+        assert tuple(ints) == (3, 1, 2)
+        assert types[0] == MPI.DOUBLE  # predefined handle returned
+        MPI.type_free(v)
+
+    def test_type_size_extent(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        v = MPI.type_vector(3, 1, 2, MPI.DOUBLE)
+        assert MPI.type_size(v) == 24
+        lb, extent = MPI.type_get_extent(v)
+        assert lb == 0 and extent == 40
+
+    def test_free_predefined_type_rejected(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        with pytest.raises(MpiError):
+            MPI.type_free(MPI.DOUBLE)
+
+    def test_derived_send_recv(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            v = MPI.type_vector(4, 1, 2, MPI.DOUBLE)
+            MPI.type_commit(v)
+            if r == 0:
+                src = np.arange(8, dtype=np.float64)
+                MPI.send(src, 1, v, 1, 1, w)
+                return None
+            dst = np.zeros(8)
+            MPI.recv(dst, 1, v, 0, 1, w)
+            return dst.tolist()
+
+        out = run_ranks(2, body)
+        assert out[1] == [0.0, 0, 2.0, 0, 4.0, 0, 6.0, 0]
+
+
+class TestEnvironment:
+    def test_rank_size_wtime(self, impl_name):
+        _, mpi_for = facade_world(3, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            return (MPI.comm_rank(w), MPI.comm_size(w), MPI.wtime() >= 0,
+                    MPI.initialized())
+
+        out = run_ranks(3, body)
+        assert [o[0] for o in out] == [0, 1, 2]
+        assert all(o[1] == 3 and o[2] and o[3] for o in out)
+
+    def test_double_init_rejected(self, impl_name):
+        from tests.conftest import make_world
+
+        _, lib_for = make_world(1, impl_name)
+        lib = lib_for(0)
+        with pytest.raises(MpiError):
+            lib.init()
+
+    def test_calls_after_finalize_rejected(self, impl_name):
+        from tests.conftest import make_world
+
+        _, lib_for = make_world(1, impl_name)
+        lib = lib_for(0)
+        lib.finalize()
+        with pytest.raises(MpiError):
+            lib.barrier(0)
+
+
+class TestCartTopology:
+    def test_cart_where_supported(self, impl_name):
+        if impl_name == "exampi":
+            pytest.skip("ExaMPI subset lacks cartesian topology")
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            cart = MPI.cart_create(MPI.COMM_WORLD, [2, 2], [True, True])
+            coords = MPI.cart_coords(cart, r)
+            back = MPI.cart_rank(cart, coords)
+            src, dst = MPI.cart_shift(cart, 0, 1)
+            return coords, back, src, dst
+
+        out = run_ranks(4, body)
+        assert out[0][0] == (0, 0) and out[3][0] == (1, 1)
+        assert all(o[1] == i for i, o in enumerate(out))
+        assert out[0][2:] == (2, 2)  # periodic 2x2: +1/-1 is same rank

@@ -1,0 +1,118 @@
+"""The legacy virtual-id design — the §4.1 drawbacks must be faithful."""
+
+import pickle
+
+import pytest
+
+from repro.mana.legacy import LegacyVirtualIdMaps
+from repro.mana.records import CommRecord, ConstantRecord, GroupRecord
+from repro.mpi.api import HandleKind
+from repro.mpi.group import ggid_of
+from repro.util.errors import IncompatibleHandleError, InvalidHandleError
+
+
+class TestInterfaceParity:
+    """The wrapper layer runs unmodified on either design."""
+
+    def test_attach_lookup(self):
+        t = LegacyVirtualIdMaps(32)
+        rec = GroupRecord((0, 1))
+        vh = t.attach(HandleKind.GROUP, rec, 17)
+        e = t.lookup(vh, HandleKind.GROUP)
+        assert e.record is rec and e.phys == 17
+
+    def test_lookup_without_kind_scans(self):
+        t = LegacyVirtualIdMaps(32)
+        vh = t.attach(HandleKind.OP, ConstantRecord("MPI_SUM"), 3)
+        assert t.lookup(vh).kind == HandleKind.OP
+
+    def test_ids_disjoint_across_kinds(self):
+        t = LegacyVirtualIdMaps(32)
+        vh_c = t.attach(HandleKind.COMM, CommRecord((0,), None, 0), 1)
+        vh_g = t.attach(HandleKind.GROUP, GroupRecord((0,)), 1)
+        vh_r = t.attach(HandleKind.REQUEST, ConstantRecord("MPI_INT"), 1)
+        assert len({vh_c, vh_g, vh_r}) == 3
+        t.remove(vh_r)  # must not disturb the comm entry
+        assert t.lookup(vh_c, HandleKind.COMM).phys == 1
+
+    def test_set_phys_and_remove(self):
+        t = LegacyVirtualIdMaps(32)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((0,)), 5)
+        t.set_phys(vh, 6)
+        assert t.phys(vh) == 6
+        t.remove(vh)
+        with pytest.raises(InvalidHandleError):
+            t.lookup(vh)
+        with pytest.raises(InvalidHandleError):
+            t.remove(vh)
+
+    def test_constant_vid(self):
+        t = LegacyVirtualIdMaps(32)
+        vh = t.attach(HandleKind.DATATYPE, ConstantRecord("MPI_INT"), 2,
+                      constant_name="MPI_INT")
+        assert t.constant_vid("MPI_INT") == vh
+
+    def test_entries_in_creation_order(self):
+        t = LegacyVirtualIdMaps(32)
+        t.attach(HandleKind.GROUP, GroupRecord((0,)), 0)
+        t.attach(HandleKind.COMM, CommRecord((0,), None, 0), 1)
+        seqs = [e.creation_seq for e in t.entries()]
+        assert seqs == sorted(seqs)
+
+    def test_eager_ggid_always(self):
+        t = LegacyVirtualIdMaps(32)
+        rec = CommRecord((0, 4), None, 0)
+        t.attach(HandleKind.COMM, rec, 1)
+        assert rec.ggid == ggid_of((0, 4))
+        assert t.finalize_ggids() == 0
+
+
+class TestDrawbacks:
+    def test_64_bit_handles_incompatible(self):
+        """§4.1 drawback 1 — the paper's headline failure."""
+        t = LegacyVirtualIdMaps(64)
+        with pytest.raises(IncompatibleHandleError, match="pointer"):
+            t.attach(HandleKind.COMM, CommRecord((0,), None, 0), 2 ** 48)
+
+    def test_reverse_translation_scans(self):
+        """§4.1 drawback 4 — O(n), but correct."""
+        t = LegacyVirtualIdMaps(32)
+        handles = [
+            t.attach(HandleKind.GROUP, GroupRecord((i,)), 100 + i)
+            for i in range(20)
+        ]
+        assert t.vid_of_phys(HandleKind.GROUP, 119) == handles[-1]
+        assert t.vid_of_phys(HandleKind.GROUP, 999) is None
+
+    def test_string_keys_in_maps(self):
+        """§4.1 drawback 2 — macro-encoded string keys, observable."""
+        t = LegacyVirtualIdMaps(32)
+        vh = t.attach(HandleKind.COMM, CommRecord((0,), None, 0), 1)
+        assert any(
+            isinstance(k, str) and k.startswith("comm:")
+            for k in t._id_maps[HandleKind.COMM]
+        )
+        assert vh in [int(k.split(":")[1]) for k in t._id_maps["comm"]]
+
+    def test_metadata_in_separate_maps(self):
+        """§4.1 drawback 3."""
+        t = LegacyVirtualIdMaps(32)
+        t.attach(HandleKind.GROUP, GroupRecord((0,)), 9)
+        assert t._id_maps is not t._record_maps
+        assert len(t._record_maps[HandleKind.GROUP]) == 1
+
+
+class TestPickling:
+    def test_phys_dropped(self):
+        t = LegacyVirtualIdMaps(32)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((0, 1)), 77)
+        t2 = pickle.loads(pickle.dumps(t))
+        assert t2.lookup(vh).phys is None
+        assert t2.lookup(vh).record.world_ranks == (0, 1)
+
+    def test_counters_continue_after_restore(self):
+        t = LegacyVirtualIdMaps(32)
+        vh1 = t.attach(HandleKind.GROUP, GroupRecord((0,)), 1)
+        t2 = pickle.loads(pickle.dumps(t))
+        vh2 = t2.attach(HandleKind.GROUP, GroupRecord((1,)), 2)
+        assert vh2 != vh1

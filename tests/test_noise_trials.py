@@ -1,0 +1,98 @@
+"""OS-noise model and multi-trial methodology (paper figure error bars)."""
+
+import pytest
+
+from repro import JobConfig, Launcher, MpiApplication
+from repro.harness.runner import run_case
+
+
+class NoisyCompute(MpiApplication):
+    def __init__(self, std=0.1):
+        self.std = std
+
+    def run(self, ctx):
+        ctx.set_compute_noise(self.std)
+        for _ in ctx.loop("main", 20):
+            ctx.compute(0.1)
+
+
+class TestNoiseModel:
+    def test_noise_reproducible_per_seed(self):
+        a = Launcher(JobConfig(nranks=2, impl="mpich", seed=1)).run(
+            lambda r: NoisyCompute(), timeout=60
+        )
+        b = Launcher(JobConfig(nranks=2, impl="mpich", seed=1)).run(
+            lambda r: NoisyCompute(), timeout=60
+        )
+        assert a.runtime == b.runtime
+
+    def test_different_seeds_differ(self):
+        a = Launcher(JobConfig(nranks=2, impl="mpich", seed=1)).run(
+            lambda r: NoisyCompute(), timeout=60
+        )
+        b = Launcher(JobConfig(nranks=2, impl="mpich", seed=2)).run(
+            lambda r: NoisyCompute(), timeout=60
+        )
+        assert a.runtime != b.runtime
+
+    def test_zero_noise_is_exact(self):
+        res = Launcher(JobConfig(nranks=1, impl="mpich", seed=1)).run(
+            lambda r: NoisyCompute(std=0.0), timeout=60
+        )
+        # exactly 20 x 0.1 s of compute, plus microseconds of library cost
+        assert res.runtime == pytest.approx(2.0, rel=1e-4)
+
+    def test_noise_magnitude_reasonable(self):
+        res = Launcher(JobConfig(nranks=1, impl="mpich", seed=3)).run(
+            lambda r: NoisyCompute(std=0.1), timeout=60
+        )
+        assert res.runtime == pytest.approx(2.0, rel=0.25)
+
+    def test_negative_std_rejected(self):
+        res = Launcher(JobConfig(nranks=1, impl="mpich")).run(
+            lambda r: NoisyCompute(std=-1), timeout=60
+        )
+        assert res.status == "failed"
+
+    def test_noise_survives_cold_restart_deterministically(self, tmp_path):
+        """Post-restart noise draws continue the same sequence (the
+        compute-call counter rides in the loop-token dict)."""
+        base = Launcher(
+            JobConfig(nranks=2, impl="mpich", mana=True, seed=5)
+        ).run(lambda r: NoisyCompute(), timeout=60)
+
+        ckdir = str(tmp_path / "ck")
+        cfg = JobConfig(nranks=2, impl="mpich", mana=True, seed=5,
+                        ckpt_dir=ckdir, loop_lag_window=2)
+        job = Launcher(cfg).launch(lambda r: NoisyCompute())
+        tk = job.checkpoint_at_iteration("main", 5, kind="loop", mode="exit")
+        job.start()
+        info = tk.wait(60)
+        assert job.wait(60).status == "preempted"
+        res2 = Launcher(cfg).restart(ckdir).run(timeout=60)
+        assert res2.status == "completed", res2.first_error()
+        # compute-time portion must match the uninterrupted run exactly
+        base_compute = base.ranks[0].accounts["compute"]
+        got_compute = res2.ranks[0].accounts["compute"]
+        assert got_compute == pytest.approx(base_compute, rel=1e-12)
+
+
+class TestTrials:
+    def test_median_and_std_reported(self):
+        r = run_case("hpcg", "mpich", False, scale=0.1, ranks_cap=4,
+                     trials=5)
+        assert r.trials == 5
+        assert r.runtime_std > 0  # hpcg has the paper's high variance
+
+    def test_hpcg_noisier_than_lammps(self):
+        """§6.1: HPCG/LULESH show much more native timing variation."""
+        hpcg = run_case("hpcg", "mpich", False, scale=0.1, ranks_cap=4,
+                        trials=5)
+        lammps = run_case("lammps", "mpich", False, scale=0.1, ranks_cap=4,
+                          trials=5)
+        assert (hpcg.runtime_std / hpcg.runtime
+                > 2 * lammps.runtime_std / lammps.runtime)
+
+    def test_single_trial_zero_std(self):
+        r = run_case("lulesh", "mpich", False, scale=0.05, ranks_cap=4)
+        assert r.trials == 1 and r.runtime_std == 0.0

@@ -1,0 +1,156 @@
+"""MPI_Pack/Unpack/Pack_size and Waitany/Testany semantics."""
+
+import numpy as np
+import pytest
+
+from repro import JobConfig, Launcher, MpiApplication
+from repro.util.errors import MpiError
+from tests.conftest import facade_world, run_ranks
+
+
+class TestPackUnpack:
+    def test_roundtrip_basic(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        src = np.arange(5, dtype=np.float64)
+        buf = np.zeros(64, dtype=np.uint8)
+        pos = MPI.pack(src, 5, MPI.DOUBLE, buf, 0)
+        assert pos == 40
+        dst = np.zeros(5)
+        end = MPI.unpack(buf, 0, dst, 5, MPI.DOUBLE)
+        assert end == 40
+        assert np.array_equal(src, dst)
+
+    def test_heterogeneous_pack(self, impl_name):
+        """The classic use: pack an int header + double payload into one
+        message buffer."""
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        need = MPI.pack_size(1, MPI.INT) + MPI.pack_size(3, MPI.DOUBLE)
+        buf = np.zeros(need, dtype=np.uint8)
+        pos = MPI.pack(np.array([7], dtype=np.int32), 1, MPI.INT, buf, 0)
+        pos = MPI.pack(np.array([1.0, 2.0, 3.0]), 3, MPI.DOUBLE, buf, pos)
+        assert pos == need
+        header = np.zeros(1, dtype=np.int32)
+        body = np.zeros(3)
+        pos = MPI.unpack(buf, 0, header, 1, MPI.INT)
+        MPI.unpack(buf, pos, body, 3, MPI.DOUBLE)
+        assert header[0] == 7 and body.tolist() == [1.0, 2.0, 3.0]
+
+    def test_pack_with_derived_type(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        vt = MPI.type_vector(3, 1, 2, MPI.DOUBLE)
+        MPI.type_commit(vt)
+        src = np.arange(6, dtype=np.float64)
+        buf = np.zeros(MPI.pack_size(1, vt), dtype=np.uint8)
+        MPI.pack(src, 1, vt, buf, 0)
+        assert np.frombuffer(buf.tobytes(), np.float64).tolist() == [0.0, 2.0, 4.0]
+
+    def test_pack_overflow_rejected(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        with pytest.raises(MpiError, match="too small"):
+            MPI.pack(np.zeros(8), 8, MPI.DOUBLE, np.zeros(8, np.uint8), 0)
+
+    def test_packed_bytes_sendable(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            if r == 0:
+                buf = np.zeros(12, dtype=np.uint8)
+                MPI.pack(np.array([5], dtype=np.int32), 1, MPI.INT, buf, 0)
+                MPI.pack(np.array([2.5], dtype=np.float32), 1, MPI.FLOAT, buf, 4)
+                MPI.send(buf, 12, MPI.BYTE, 1, 44, w)
+                return None
+            buf = np.zeros(12, dtype=np.uint8)
+            MPI.recv(buf, 12, MPI.BYTE, 0, 44, w)
+            h = np.zeros(1, dtype=np.int32)
+            v = np.zeros(1, dtype=np.float32)
+            pos = MPI.unpack(buf, 0, h, 1, MPI.INT)
+            MPI.unpack(buf, pos, v, 1, MPI.FLOAT)
+            return int(h[0]), float(v[0])
+
+        assert run_ranks(2, body)[1] == (5, 2.5)
+
+
+class TestWaitanyTestany:
+    def test_waitany_returns_first_complete(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            if r == 1:
+                MPI.send(np.array([9.0]), 1, MPI.DOUBLE, 0, 2, w)
+                return None
+            bufs = [np.zeros(1) for _ in range(3)]
+            reqs = [
+                MPI.irecv(bufs[i], 1, MPI.DOUBLE, 1, i + 1, w)
+                for i in range(3)
+            ]
+            idx, st = MPI.waitany(reqs)
+            # only tag 2 (index 1) ever gets a message
+            return idx, float(bufs[idx][0])
+
+        assert run_ranks(2, body)[0] == (1, 9.0)
+
+    def test_testany_no_completion(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            if r == 1:
+                return None
+            w = MPI.COMM_WORLD
+            req = MPI.irecv(np.zeros(1), 1, MPI.DOUBLE, 1, 3, w)
+            flag, idx, _ = MPI.testany([req])
+            return flag, idx
+
+        flag, idx = run_ranks(2, body)[0]
+        assert not flag and idx == -32766  # MPI_UNDEFINED
+
+
+class WaitanyApp(MpiApplication):
+    """Uses waitany in a master/worker pattern across a checkpoint."""
+
+    def __init__(self):
+        self.collected = []
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        for it in ctx.loop("main", 12):
+            if ctx.rank == 0:
+                bufs = [np.zeros(1) for _ in range(ctx.nranks - 1)]
+                reqs = [
+                    MPI.irecv(bufs[i], 1, MPI.DOUBLE, i + 1, 50, w)
+                    for i in range(ctx.nranks - 1)
+                ]
+                remaining = list(range(len(reqs)))
+                while remaining:
+                    idx, st = MPI.waitany([reqs[i] for i in remaining])
+                    self.collected.append(float(bufs[remaining[idx]][0]))
+                    remaining.pop(idx)
+            else:
+                MPI.send(np.array([float(ctx.rank * 100 + it)]), 1,
+                         MPI.DOUBLE, 0, 50, w)
+            MPI.barrier(w)
+
+
+def test_waitany_across_checkpoint():
+    base = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).run(
+        lambda r: WaitanyApp(), timeout=60
+    )
+    assert base.status == "completed", base.first_error()
+    job = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).launch(
+        lambda r: WaitanyApp()
+    )
+    tk = job.checkpoint_at_iteration("main", 5, mode="relaunch")
+    job.start()
+    tk.wait(60)
+    res = job.wait(60)
+    assert res.status == "completed", res.first_error()
+    assert sorted(res.apps()[0].collected) == sorted(base.apps()[0].collected)

@@ -1,0 +1,172 @@
+"""Persistent requests: native semantics + survival across checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro import JobConfig, Launcher, MpiApplication
+from repro.util.errors import MpiError
+from tests.conftest import ALL_IMPLS, facade_world, run_ranks
+
+
+class TestNativePersistent:
+    def test_start_wait_cycles(self, impl_name):
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            recv = np.zeros(1)
+            send = np.zeros(1)
+            rreq = MPI.recv_init(recv, 1, MPI.DOUBLE, 1 - r, 8, w)
+            sreq = MPI.send_init(send, 1, MPI.DOUBLE, 1 - r, 8, w)
+            got = []
+            for it in range(5):
+                send[0] = r * 100 + it
+                MPI.startall([sreq, rreq])
+                MPI.wait(sreq)
+                MPI.wait(rreq)
+                got.append(float(recv[0]))
+            MPI.request_free(sreq)
+            MPI.request_free(rreq)
+            return got
+
+        out = run_ranks(2, body)
+        assert out[0] == [100 + i for i in range(5)]
+        assert out[1] == [0 + i for i in range(5)]
+
+    def test_buffer_contents_at_start_time(self, impl_name):
+        """MPI reads the send buffer at MPI_Start, not at *_init."""
+        _, mpi_for = facade_world(2, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            w = MPI.COMM_WORLD
+            if r == 0:
+                buf = np.array([1.0])
+                req = MPI.send_init(buf, 1, MPI.DOUBLE, 1, 9, w)
+                buf[0] = 42.0  # modified after init, before start
+                MPI.start(req)
+                MPI.wait(req)
+                MPI.request_free(req)
+                return None
+            recv = np.zeros(1)
+            MPI.recv(recv, 1, MPI.DOUBLE, 0, 9, w)
+            return float(recv[0])
+
+        assert run_ranks(2, body)[1] == 42.0
+
+    def test_start_errors(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        w = MPI.COMM_SELF
+        req = MPI.irecv(np.zeros(1), 1, MPI.DOUBLE, MPI.PROC_NULL, 0, w)
+        with pytest.raises(MpiError, match="non-persistent"):
+            MPI.start(req)
+
+    def test_double_start_rejected(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        w = MPI.COMM_SELF
+        req = MPI.recv_init(np.zeros(1), 1, MPI.DOUBLE, MPI.ANY_SOURCE, 1, w)
+        MPI.start(req)
+        with pytest.raises(MpiError, match="already-active"):
+            MPI.start(req)
+
+    def test_inactive_test_trivially_true(self, impl_name):
+        _, mpi_for = facade_world(1, impl_name)
+        MPI = mpi_for(0)
+        req = MPI.recv_init(np.zeros(1), 1, MPI.DOUBLE, MPI.ANY_SOURCE, 1,
+                            MPI.COMM_SELF)
+        flag, _ = MPI.test(req)
+        assert flag
+        MPI.request_free(req)
+
+
+class HaloPersistentApp(MpiApplication):
+    """The classic persistent-request halo exchange: requests created
+    once in setup, started every iteration."""
+
+    name = "halo-persistent"
+
+    def __init__(self, niters=20):
+        self.niters = niters
+        self.history = []
+
+    def setup(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        nxt = (ctx.rank + 1) % ctx.nranks
+        prv = (ctx.rank - 1) % ctx.nranks
+        self.sendbuf = np.zeros(4)
+        self.recvbuf = np.zeros(4)
+        self.reqs = [
+            MPI.recv_init(self.recvbuf, 4, MPI.DOUBLE, prv, 30, w),
+            MPI.send_init(self.sendbuf, 4, MPI.DOUBLE, nxt, 30, w),
+        ]
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        for it in ctx.loop("main", self.niters):
+            self.sendbuf[:] = ctx.rank * 1000 + it
+            MPI.startall(self.reqs)
+            MPI.waitall(self.reqs)
+            self.history.append(float(self.recvbuf[0]))
+            out = np.zeros(1)
+            MPI.allreduce(self.recvbuf[:1], out, 1, MPI.DOUBLE, MPI.SUM,
+                          MPI.COMM_WORLD)
+
+    def validate(self, ctx):
+        if len(self.history) != self.niters:
+            return f"halo ran {len(self.history)}/{self.niters}"
+        return None
+
+
+class TestPersistentUnderMana:
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_matches_native(self, impl):
+        nat = Launcher(JobConfig(nranks=4, impl=impl, mana=False)).run(
+            lambda r: HaloPersistentApp(), timeout=60
+        )
+        man = Launcher(JobConfig(nranks=4, impl=impl, mana=True)).run(
+            lambda r: HaloPersistentApp(), timeout=60
+        )
+        assert man.status == "completed", man.first_error()
+        assert [a.history for a in man.apps()] == [
+            a.history for a in nat.apps()
+        ]
+
+    @pytest.mark.parametrize("at_iter", [3, 9, 15])
+    def test_survives_relaunch(self, at_iter):
+        base = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).run(
+            lambda r: HaloPersistentApp(), timeout=60
+        )
+        job = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).launch(
+            lambda r: HaloPersistentApp()
+        )
+        tk = job.checkpoint_at_iteration("main", at_iter, mode="relaunch")
+        job.start()
+        tk.wait(60)
+        res = job.wait(60)
+        assert res.status == "completed", res.first_error()
+        assert [a.history for a in res.apps()] == [
+            a.history for a in base.apps()
+        ]
+
+    def test_survives_cold_cross_impl_restart(self, tmp_path):
+        base = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).run(
+            lambda r: HaloPersistentApp(), timeout=60
+        )
+        ckdir = str(tmp_path / "ck")
+        cfg = JobConfig(nranks=4, impl="mpich", mana=True, ckpt_dir=ckdir,
+                        loop_lag_window=2)
+        job = Launcher(cfg).launch(lambda r: HaloPersistentApp())
+        tk = job.checkpoint_at_iteration("main", 5, kind="loop", mode="exit")
+        job.start()
+        tk.wait(60)
+        assert job.wait(60).status == "preempted"
+        job2 = Launcher(cfg).restart(ckdir, impl_override="openmpi")
+        res2 = job2.run(timeout=60)
+        assert res2.status == "completed", res2.first_error()
+        assert [a.history for a in res2.apps()] == [
+            a.history for a in base.apps()
+        ]

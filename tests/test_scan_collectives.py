@@ -1,0 +1,118 @@
+"""Scan / Exscan / Reduce_scatter_block semantics across implementations."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import UnsupportedFunctionError
+from tests.conftest import facade_world, run_ranks
+
+
+class TestScan:
+    @pytest.mark.parametrize("nranks", [1, 2, 5])
+    def test_inclusive_prefix_sum(self, impl_name, nranks):
+        if impl_name == "exampi":
+            pass  # scan IS in ExaMPI's subset; exscan is not
+        _, mpi_for = facade_world(nranks, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            out = np.zeros(1)
+            MPI.scan(np.array([float(r + 1)]), out, 1, MPI.DOUBLE, MPI.SUM,
+                     MPI.COMM_WORLD)
+            return float(out[0])
+
+        out = run_ranks(nranks, body)
+        assert out == [sum(range(1, r + 2)) for r in range(nranks)]
+
+    def test_scan_max(self, impl_name):
+        _, mpi_for = facade_world(4, impl_name)
+
+        def body(r):
+            MPI = mpi_for(r)
+            vals = [3.0, 1.0, 7.0, 2.0]
+            out = np.zeros(1)
+            MPI.scan(np.array([vals[r]]), out, 1, MPI.DOUBLE, MPI.MAX,
+                     MPI.COMM_WORLD)
+            return float(out[0])
+
+        assert run_ranks(4, body) == [3.0, 3.0, 7.0, 7.0]
+
+    def test_exscan(self):
+        _, mpi_for = facade_world(4, "mpich")
+
+        def body(r):
+            MPI = mpi_for(r)
+            out = np.full(1, -99.0)
+            MPI.exscan(np.array([float(r + 1)]), out, 1, MPI.DOUBLE,
+                       MPI.SUM, MPI.COMM_WORLD)
+            return float(out[0])
+
+        out = run_ranks(4, body)
+        assert out[0] == -99.0  # undefined on rank 0: untouched
+        assert out[1:] == [1.0, 3.0, 6.0]
+
+    def test_exscan_unsupported_on_exampi(self):
+        _, mpi_for = facade_world(2, "exampi")
+
+        def body(r):
+            MPI = mpi_for(r)
+            with pytest.raises(UnsupportedFunctionError):
+                MPI.exscan(np.zeros(1), np.zeros(1), 1, MPI.DOUBLE,
+                           MPI.SUM, MPI.COMM_WORLD)
+            return True
+
+        assert all(run_ranks(2, body))
+
+
+class TestReduceScatterBlock:
+    def test_blocks_delivered_per_rank(self):
+        _, mpi_for = facade_world(3, "mpich")
+
+        def body(r):
+            MPI = mpi_for(r)
+            send = np.arange(6, dtype=np.float64) * (r + 1)
+            recv = np.zeros(2)
+            MPI.reduce_scatter_block(send, recv, 2, MPI.DOUBLE, MPI.SUM,
+                                     MPI.COMM_WORLD)
+            return recv.tolist()
+
+        out = run_ranks(3, body)
+        # elementwise sum of k*[0..5] for k=1..3 is 6*[0..5]
+        total = (np.arange(6) * 6.0)
+        for r in range(3):
+            assert out[r] == total[2 * r : 2 * r + 2].tolist()
+
+
+from repro import JobConfig, Launcher, MpiApplication
+
+
+class ScanApp(MpiApplication):
+    def __init__(self):
+        self.history = []
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        for it in ctx.loop("main", 12):
+            out = np.zeros(1)
+            MPI.scan(np.array([float(ctx.rank + it)]), out, 1,
+                     MPI.DOUBLE, MPI.SUM, MPI.COMM_WORLD)
+            self.history.append(float(out[0]))
+
+
+class TestUnderMana:
+    def test_scan_through_wrappers_and_checkpoint(self):
+        base = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).run(
+            lambda r: ScanApp(), timeout=60
+        )
+        assert base.status == "completed", base.first_error()
+        job = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).launch(
+            lambda r: ScanApp()
+        )
+        tk = job.checkpoint_at_iteration("main", 5, mode="relaunch")
+        job.start()
+        tk.wait(60)
+        res = job.wait(60)
+        assert res.status == "completed", res.first_error()
+        assert [a.history for a in res.apps()] == [
+            a.history for a in base.apps()
+        ]

@@ -1,0 +1,101 @@
+"""Tests for the op registry and the checkpointable RNG."""
+
+import numpy as np
+import pytest
+
+from repro.util.registry import FunctionRegistry, OpRegistry, USER_OPS, user_op
+from repro.util.rng import DeterministicRng
+
+
+class TestFunctionRegistry:
+    def test_register_and_lookup(self):
+        reg = FunctionRegistry("thing")
+        fn = lambda: 1  # noqa: E731
+        reg.register("one", fn)
+        assert reg.lookup("one") is fn
+
+    def test_reregister_same_fn_ok(self):
+        reg = FunctionRegistry("thing")
+        fn = lambda: 1  # noqa: E731
+        reg.register("x", fn)
+        reg.register("x", fn)  # idempotent
+
+    def test_reregister_different_fn_rejected(self):
+        reg = FunctionRegistry("thing")
+        reg.register("x", lambda: 1)
+        with pytest.raises(ValueError, match="already has"):
+            reg.register("x", lambda: 2)
+
+    def test_replace_flag(self):
+        reg = FunctionRegistry("thing")
+        reg.register("x", lambda: 1)
+        g = lambda: 2  # noqa: E731
+        reg.register("x", g, replace=True)
+        assert reg.lookup("x") is g
+
+    def test_lookup_missing_is_helpful(self):
+        reg = FunctionRegistry("user reduction op")
+        with pytest.raises(KeyError, match="registered before restart"):
+            reg.lookup("ghost")
+
+    def test_name_of(self):
+        reg = FunctionRegistry("thing")
+        fn = lambda: 1  # noqa: E731
+        reg.register("found", fn)
+        assert reg.name_of(fn) == "found"
+        assert reg.name_of(lambda: 3) is None
+
+    def test_contains_and_iter(self):
+        reg = FunctionRegistry("thing")
+        reg.register("b", lambda: 1)
+        reg.register("a", lambda: 2)
+        assert "a" in reg and "c" not in reg
+        assert list(reg) == ["a", "b"]
+
+
+class TestUserOpDecorator:
+    def test_decorator_registers_globally(self):
+        @user_op("test-op-registry-decorator")
+        def my_red(invec, inoutvec):
+            np.add(invec, inoutvec, out=inoutvec)
+
+        assert USER_OPS.lookup("test-op-registry-decorator") is my_red
+        assert isinstance(USER_OPS, OpRegistry)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(5, "x")
+        b = DeterministicRng(5, "x")
+        assert [a.uniform() for _ in range(5)] == [
+            b.uniform() for _ in range(5)
+        ]
+
+    def test_different_streams_differ(self):
+        a = DeterministicRng(5, "x")
+        b = DeterministicRng(5, "y")
+        assert a.uniform() != b.uniform()
+
+    def test_state_roundtrip_mid_stream(self):
+        rng = DeterministicRng(9, "s")
+        rng.uniform()
+        state = rng.get_state()
+        expect = [rng.uniform() for _ in range(4)]
+        restored = DeterministicRng.from_state(state)
+        assert [restored.uniform() for _ in range(4)] == expect
+
+    def test_state_is_plain_data(self):
+        import pickle
+
+        state = DeterministicRng(1, "a").get_state()
+        pickle.loads(pickle.dumps(state))  # must be serializable
+
+    def test_array_draws_shapes(self):
+        rng = DeterministicRng(3)
+        assert rng.array_uniform((4, 3)).shape == (4, 3)
+        assert rng.array_normal((7,)).shape == (7,)
+
+    def test_integers_range(self):
+        rng = DeterministicRng(3)
+        draws = {rng.integers(0, 4) for _ in range(200)}
+        assert draws == {0, 1, 2, 3}

@@ -1,0 +1,110 @@
+"""The VASP-like multi-phase proxy — the paper's motivating use case.
+
+"VASP supports multiple algorithms ... its multi-algorithm execution
+model conflicts with the model of a single main-loop often assumed by
+library-based packages" (§1).  Transparent checkpoints must land in ANY
+phase and preemptions must resume mid-workflow.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import JobConfig, Launcher
+from repro.apps import VaspLikeProxy
+
+
+def spec(blocks=5, nranks=8):
+    return replace(VaspLikeProxy.paper_config(), nranks=nranks, blocks=blocks)
+
+
+def baseline(blocks=5):
+    res = Launcher(JobConfig(nranks=8, impl="mpich", mana=True)).run(
+        lambda r: VaspLikeProxy(spec(blocks)), timeout=120
+    )
+    assert res.status == "completed", res.first_error()
+    return res
+
+
+def phases(app):
+    return (app.scf_energies, app.relax_forces, app.md_temps)
+
+
+@pytest.mark.parametrize("loop,at_iter", [
+    ("scf", 2), ("relax", 2), ("md", 2),
+])
+def test_in_session_checkpoint_in_every_phase(loop, at_iter):
+    base = baseline()
+    job = Launcher(JobConfig(nranks=8, impl="mpich", mana=True)).launch(
+        lambda r: VaspLikeProxy(spec())
+    )
+    tk = job.checkpoint_at_iteration(loop, at_iter, mode="relaunch")
+    job.start()
+    tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "completed", res.first_error()
+    assert [phases(a) for a in res.apps()] == [
+        phases(a) for a in base.apps()
+    ]
+
+
+@pytest.mark.parametrize("loop", ["scf", "relax", "md"])
+def test_preempt_and_cold_restart_in_every_phase(loop, tmp_path):
+    """The headline scenario: preempted mid-SCF / mid-relax / mid-MD,
+    resumed in a fresh session, workflow completes identically."""
+    base = baseline()
+    ckdir = str(tmp_path / "ck")
+    cfg = JobConfig(nranks=8, impl="mpich", mana=True, ckpt_dir=ckdir,
+                    loop_lag_window=2)
+    job = Launcher(cfg).launch(lambda r: VaspLikeProxy(spec()))
+    tk = job.checkpoint_at_iteration(loop, 1, kind="loop", mode="exit")
+    job.start()
+    info = tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "preempted"
+    assert info["loop_target"] is not None
+
+    res2 = Launcher(cfg).restart(ckdir).run(timeout=120)
+    assert res2.status == "completed", res2.first_error()
+    assert [phases(a) for a in res2.apps()] == [
+        phases(a) for a in base.apps()
+    ]
+
+
+def test_later_phases_untouched_by_early_preemption(tmp_path):
+    """Preempted during SCF: the relax/md phases must not have run at
+    preemption time, and must run exactly once after restart."""
+    ckdir = str(tmp_path / "ck")
+    cfg = JobConfig(nranks=8, impl="mpich", mana=True, ckpt_dir=ckdir,
+                    loop_lag_window=2)
+    job = Launcher(cfg).launch(lambda r: VaspLikeProxy(spec()))
+    tk = job.checkpoint_at_iteration("scf", 1, kind="loop", mode="exit")
+    job.start()
+    tk.wait(120)
+    res = job.wait(120)
+    assert res.status == "preempted"
+    for a in res.apps():
+        assert a.relax_forces == [] and a.md_temps == []
+
+    res2 = Launcher(cfg).restart(ckdir).run(timeout=120)
+    assert res2.status == "completed", res2.first_error()
+    for a in res2.apps():
+        assert len(a.relax_forces) == 5 and len(a.md_temps) == 5
+
+
+def test_cross_impl_restart_mid_workflow(tmp_path):
+    """Preempted mid-relax under MPICH, finished under ExaMPI."""
+    base = baseline()
+    ckdir = str(tmp_path / "ck")
+    cfg = JobConfig(nranks=8, impl="mpich", mana=True, ckpt_dir=ckdir,
+                    loop_lag_window=2)
+    job = Launcher(cfg).launch(lambda r: VaspLikeProxy(spec()))
+    tk = job.checkpoint_at_iteration("relax", 1, kind="loop", mode="exit")
+    job.start()
+    tk.wait(120)
+    assert job.wait(120).status == "preempted"
+    res2 = Launcher(cfg).restart(ckdir, impl_override="exampi").run(timeout=120)
+    assert res2.status == "completed", res2.first_error()
+    assert [phases(a) for a in res2.apps()] == [
+        phases(a) for a in base.apps()
+    ]

@@ -1,0 +1,261 @@
+"""The new virtual-id architecture (paper §4.2) — unit + property tests."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mana.records import CommRecord, ConstantRecord, GroupRecord
+from repro.mana.virtid import (
+    GGID_HASH_COST_PER_RANK,
+    KIND_TAGS,
+    MANA_MAGIC,
+    VID_LAYOUT,
+    GgidPolicy,
+    VirtualIdTable,
+)
+from repro.mpi.api import HandleKind
+from repro.mpi.group import ggid_of
+from repro.simtime.clock import VirtualClock
+from repro.util.errors import InvalidHandleError
+
+
+def comm_record(ranks, dup_seq=0):
+    return CommRecord(world_ranks=tuple(ranks), ggid=None, dup_seq=dup_seq)
+
+
+class TestLayout:
+    def test_32_bits_kind_plus_index(self):
+        vid = VID_LAYOUT.pack(kind=KIND_TAGS[HandleKind.COMM], index=123)
+        assert 0 <= vid < (1 << 32)
+        assert VID_LAYOUT.extract(vid, "kind") == 1
+
+    def test_five_kinds_have_distinct_tags(self):
+        assert len(set(KIND_TAGS.values())) == 5
+        assert all(1 <= t <= 7 for t in KIND_TAGS.values())
+
+
+class TestEmbedding:
+    def test_32_bit_identity(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((0,)), 5)
+        assert vh < (1 << 32)
+        assert t.extract(vh) == vh
+
+    def test_64_bit_carries_mana_tag(self):
+        t = VirtualIdTable(64)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((0,)), 5)
+        assert vh >> 32 == MANA_MAGIC
+        assert t.extract(vh) == vh & 0xFFFFFFFF
+
+    def test_extract_accepts_both_widths(self):
+        # Cross-implementation restart: a 32-bit-era handle must decode
+        # under a 64-bit implementation and vice versa.
+        t32, t64 = VirtualIdTable(32), VirtualIdTable(64)
+        vid = VID_LAYOUT.pack(kind=2, index=9)
+        assert t32.extract(vid) == vid
+        assert t64.extract((MANA_MAGIC << 32) | vid) == vid
+
+    def test_stray_pointer_rejected(self):
+        # A 64-bit value without the MANA tag is a leaked physical
+        # pointer, not a virtual handle.
+        with pytest.raises(InvalidHandleError, match="MANA tag"):
+            VirtualIdTable.extract(0x7F00_1234_0000_0010)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidHandleError):
+            VirtualIdTable.extract(-1)
+
+
+class TestAttachLookup:
+    def test_single_lookup_returns_everything(self):
+        t = VirtualIdTable(32)
+        rec = comm_record((0, 1, 2))
+        vh = t.attach(HandleKind.COMM, rec, phys=0x44000000)
+        e = t.lookup(vh)
+        assert e.record is rec
+        assert e.phys == 0x44000000
+        assert e.kind == HandleKind.COMM
+
+    def test_kind_check(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.OP, ConstantRecord("MPI_SUM"), 7)
+        with pytest.raises(InvalidHandleError, match="is a op, not a comm"):
+            t.lookup(vh, HandleKind.COMM)
+
+    def test_unknown_vid(self):
+        t = VirtualIdTable(32)
+        with pytest.raises(InvalidHandleError, match="unknown virtual id"):
+            t.lookup(VID_LAYOUT.pack(kind=1, index=55))
+
+    def test_phys_missing_after_unbind(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((1,)), 9)
+        t.set_phys(vh, None)
+        with pytest.raises(InvalidHandleError, match="no physical binding"):
+            t.phys(vh)
+
+    def test_remove_and_double_free(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((1,)), 9)
+        t.remove(vh)
+        with pytest.raises(InvalidHandleError, match="double free"):
+            t.remove(vh)
+
+    def test_reverse_translation_o1(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.DATATYPE, ConstantRecord("MPI_INT"), 0x4C0)
+        assert t.vid_of_phys(HandleKind.DATATYPE, 0x4C0) == vh
+        assert t.vid_of_phys(HandleKind.DATATYPE, 0xBAD) is None
+
+    def test_set_phys_updates_reverse(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((1,)), 10)
+        t.set_phys(vh, 20)
+        assert t.vid_of_phys(HandleKind.GROUP, 20) == vh
+        assert t.vid_of_phys(HandleKind.GROUP, 10) is None
+
+
+class TestGgidEmbedding:
+    def test_comm_vid_embeds_ggid(self):
+        t = VirtualIdTable(32)
+        ranks = (0, 3, 7)
+        vh = t.attach(HandleKind.COMM, comm_record(ranks), 1)
+        e = t.lookup(vh)
+        assert e.record.ggid == ggid_of(ranks)  # eager policy computed it
+        assert e.index == ggid_of(ranks) & ((1 << 29) - 1)
+
+    def test_same_membership_same_vid_across_tables(self):
+        # The property MANA relies on: a communicator's virtual id is
+        # identical on every member rank.
+        ta, tb = VirtualIdTable(32), VirtualIdTable(32)
+        va = ta.attach(HandleKind.COMM, comm_record((1, 2)), 11)
+        vb = tb.attach(HandleKind.COMM, comm_record((1, 2)), 99)
+        assert va == vb
+
+    def test_dup_seq_disambiguates(self):
+        t = VirtualIdTable(32)
+        v0 = t.attach(HandleKind.COMM, comm_record((0, 1), dup_seq=0), 1)
+        v1 = t.attach(HandleKind.COMM, comm_record((0, 1), dup_seq=1), 2)
+        assert v0 != v1
+
+    def test_collision_probing(self):
+        t = VirtualIdTable(32)
+        # Same (membership, dup_seq) attached twice (pathological but
+        # must not corrupt the table): linear probe finds a second index.
+        v0 = t.attach(HandleKind.COMM, comm_record((0, 1)), 1)
+        v1 = t.attach(HandleKind.COMM, comm_record((0, 1)), 2)
+        assert v0 != v1
+        assert t.lookup(v0).phys == 1 and t.lookup(v1).phys == 2
+
+    def test_constant_indices_stable_across_sessions(self):
+        ta, tb = VirtualIdTable(32), VirtualIdTable(64)
+        va = ta.attach(HandleKind.DATATYPE, ConstantRecord("MPI_INT"), 3,
+                       constant_name="MPI_INT")
+        vb = tb.attach(HandleKind.DATATYPE, ConstantRecord("MPI_INT"), 999,
+                       constant_name="MPI_INT")
+        assert ta.extract(va) == tb.extract(vb)
+
+    def test_constant_vid_lookup_by_name(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.OP, ConstantRecord("MPI_SUM"), 5,
+                      constant_name="MPI_SUM")
+        assert t.constant_vid("MPI_SUM") == vh
+        assert t.constant_vid("MPI_MAX") is None
+
+
+class TestGgidPolicies:
+    def test_eager_charges_at_create(self):
+        clock = VirtualClock()
+        t = VirtualIdTable(32, GgidPolicy.EAGER, clock=clock)
+        t.attach(HandleKind.COMM, comm_record(tuple(range(10))), 1)
+        assert clock.account("mana-ggid") == pytest.approx(
+            10 * GGID_HASH_COST_PER_RANK
+        )
+
+    def test_lazy_defers_to_finalize(self):
+        clock = VirtualClock()
+        t = VirtualIdTable(32, GgidPolicy.LAZY, clock=clock)
+        vh = t.attach(HandleKind.COMM, comm_record((0, 1, 2)), 1)
+        assert t.lookup(vh).record.ggid is None
+        assert clock.account("mana-ggid") == 0.0
+        assert t.finalize_ggids() == 1
+        assert t.lookup(vh).record.ggid == ggid_of((0, 1, 2))
+
+    def test_hybrid_caches_membership(self):
+        clock = VirtualClock()
+        t = VirtualIdTable(32, GgidPolicy.HYBRID, clock=clock)
+        v1 = t.attach(HandleKind.COMM, comm_record((0, 1)), 1)
+        assert t.lookup(v1).record.ggid is None  # first sight: deferred
+        t.finalize_ggids()
+        t.remove(v1)
+        v2 = t.attach(HandleKind.COMM, comm_record((0, 1)), 2)
+        # second sight: served from the cache, no deferral
+        assert t.lookup(v2).record.ggid == ggid_of((0, 1))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualIdTable(32, "random")
+
+
+class TestPickling:
+    def test_phys_dropped_records_kept(self):
+        t = VirtualIdTable(32)
+        rec = comm_record((0, 1))
+        vh = t.attach(HandleKind.COMM, rec, phys=1234)
+        t2 = pickle.loads(pickle.dumps(t))
+        e = t2.lookup(vh)
+        assert e.phys is None            # physical ids die with the lower half
+        assert e.record.world_ranks == (0, 1)
+
+    def test_creation_order_preserved(self):
+        t = VirtualIdTable(32)
+        handles = [
+            t.attach(HandleKind.GROUP, GroupRecord((i,)), i)
+            for i in range(5)
+        ]
+        t2 = pickle.loads(pickle.dumps(t))
+        order = [e.creation_seq for e in t2.entries(HandleKind.GROUP)]
+        assert order == sorted(order)
+        # new attaches after restore keep increasing
+        vh = t2.attach(HandleKind.GROUP, GroupRecord((99,)), 99)
+        assert t2.lookup(vh).creation_seq > max(order)
+        assert handles  # silence lint
+
+    def test_rebuild_reverse(self):
+        t = VirtualIdTable(32)
+        vh = t.attach(HandleKind.GROUP, GroupRecord((0,)), 44)
+        t2 = pickle.loads(pickle.dumps(t))
+        assert t2.vid_of_phys(HandleKind.GROUP, 44) is None
+        t2.set_phys(vh, 55)
+        t2.rebuild_reverse()
+        assert t2.vid_of_phys(HandleKind.GROUP, 55) == vh
+
+
+@given(
+    kinds=st.lists(
+        st.sampled_from(list(HandleKind.ALL)), min_size=1, max_size=40
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_attach_lookup_remove(kinds):
+    t = VirtualIdTable(32)
+    live = {}
+    for i, kind in enumerate(kinds):
+        if kind == HandleKind.COMM:
+            rec = comm_record((i,))
+        elif kind == HandleKind.GROUP:
+            rec = GroupRecord((i,))
+        else:
+            rec = ConstantRecord("MPI_INT")
+        vh = t.attach(kind, rec, phys=i)
+        assert vh not in live
+        live[vh] = (kind, i)
+    assert len(t) == len(live)
+    for vh, (kind, phys) in live.items():
+        e = t.lookup(vh, kind)
+        assert e.phys == phys
+    for vh in live:
+        t.remove(vh)
+    assert len(t) == 0

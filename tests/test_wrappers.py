@@ -1,0 +1,209 @@
+"""Wrapper-layer behavior: virtualization, accounting, facade semantics."""
+
+import numpy as np
+import pytest
+
+from repro import JobConfig, Launcher, MpiApplication
+from repro.mana.virtid import MANA_MAGIC, VirtualIdTable
+from repro.util.errors import IncompatibleHandleError, MpiError
+from tests.conftest import ALL_IMPLS
+from tests.miniapps import RingApp
+
+
+class HandleWitness(MpiApplication):
+    """Collects every handle the app ever sees, for leak checks."""
+
+    name = "witness"
+
+    def __init__(self):
+        self.seen = {}
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        sub = MPI.comm_split(w, 0, ctx.rank)
+        g = MPI.comm_group(w)
+        t = MPI.type_contiguous(2, MPI.DOUBLE)
+        MPI.type_commit(t)
+        req = MPI.irecv(np.zeros(2), 2, MPI.DOUBLE, (ctx.rank + 1) % ctx.nranks, 1, w)
+        MPI.send(np.zeros(2), 2, MPI.DOUBLE, (ctx.rank - 1) % ctx.nranks, 1, w)
+        MPI.wait(req)
+        self.seen = {
+            "world": w, "sub": sub, "group": g, "dtype": t,
+            "double": MPI.DOUBLE, "sum_op": MPI.SUM,
+        }
+        MPI.barrier(w)
+
+
+class TestVirtualization:
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_app_never_sees_physical_ids(self, impl):
+        job = Launcher(JobConfig(nranks=2, impl=impl, mana=True)).launch(
+            lambda r: HandleWitness()
+        )
+        res = job.run(timeout=60)
+        assert res.status == "completed", res.first_error()
+        for rank, app in enumerate(res.apps()):
+            mana = job.manas[rank]
+            for name, vh in app.seen.items():
+                vid = VirtualIdTable.extract(vh)
+                # every handle decodes as a virtual id known to the table
+                entry = mana.vids.lookup(vid)
+                assert entry is not None, name
+                if mana.lower.handles.handle_bits == 64:
+                    assert (vh >> 32) == MANA_MAGIC
+
+    def test_comm_world_vid_identical_on_all_ranks(self):
+        job = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).launch(
+            lambda r: HandleWitness()
+        )
+        res = job.run(timeout=60)
+        assert res.status == "completed", res.first_error()
+        worlds = {a.seen["world"] for a in res.apps()}
+        assert len(worlds) == 1  # ggid-derived: same vid everywhere
+
+    def test_sub_comm_vid_identical_on_members(self):
+        job = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).launch(
+            lambda r: HandleWitness()
+        )
+        res = job.run(timeout=60)
+        subs = {a.seen["sub"] for a in res.apps()}
+        assert len(subs) == 1
+
+    def test_legacy_design_works_on_32bit_impls(self):
+        for impl in ("mpich", "craympi"):
+            res = Launcher(
+                JobConfig(nranks=2, impl=impl, mana=True, vid_design="legacy")
+            ).run(lambda r: RingApp(8), timeout=60)
+            assert res.status == "completed", res.first_error()
+
+    @pytest.mark.parametrize("impl", ["openmpi", "exampi"])
+    def test_legacy_design_fails_on_pointer_impls(self, impl):
+        res = Launcher(
+            JobConfig(nranks=2, impl=impl, mana=True, vid_design="legacy")
+        ).run(lambda r: RingApp(8), timeout=60)
+        assert res.status == "failed"
+        assert "IncompatibleHandleError" in res.first_error()
+
+
+class TestAccounting:
+    def test_cs_count_includes_call_weight(self):
+        class Weighted(MpiApplication):
+            def run(self, ctx):
+                ctx.set_call_weight(100)
+                ctx.MPI.barrier(ctx.MPI.COMM_WORLD)
+
+        job = Launcher(JobConfig(nranks=2, impl="mpich", mana=True)).launch(
+            lambda r: Weighted()
+        )
+        res = job.run(timeout=60)
+        assert res.status == "completed", res.first_error()
+        # barrier: 1 wrapped crossing + 1 extra internal call, both x100,
+        # plus bootstrap/init/finalize small-weight calls.
+        assert res.ranks[0].cs_count >= 200
+
+    def test_native_run_has_zero_cs(self):
+        res = Launcher(JobConfig(nranks=2, impl="mpich", mana=False)).run(
+            lambda r: RingApp(5), timeout=60
+        )
+        assert res.status == "completed"
+        assert res.total_cs == 0
+
+    def test_mana_overhead_account_populated(self):
+        res = Launcher(JobConfig(nranks=2, impl="mpich", mana=True)).run(
+            lambda r: RingApp(10), timeout=60
+        )
+        assert res.status == "completed"
+        assert all(r.accounts.get("mana-overhead", 0) > 0 for r in res.ranks)
+
+    def test_legacy_vid_design_slower(self):
+        """§6.1: the new design's lookup is cheaper per call."""
+        def go(design):
+            res = Launcher(
+                JobConfig(nranks=2, impl="mpich", mana=True, vid_design=design)
+            ).run(lambda r: RingApp(20, compute=0.0001), timeout=60)
+            assert res.status == "completed", res.first_error()
+            return res.runtime
+
+        assert go("legacy") > go("new")
+
+    def test_invalid_call_weight(self):
+        class Bad(MpiApplication):
+            def run(self, ctx):
+                ctx.set_call_weight(0)
+
+        res = Launcher(JobConfig(nranks=1, impl="mpich", mana=True)).run(
+            lambda r: Bad(), timeout=60
+        )
+        assert res.status == "failed"
+        assert "call weight" in res.first_error()
+
+
+class CartApp(MpiApplication):
+    def __init__(self):
+        self.coords = []
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        cart = MPI.cart_create(MPI.COMM_WORLD, [2, 2], [True, False])
+        for it in ctx.loop("main", 12):
+            self.coords.append(MPI.cart_coords(cart, ctx.rank))
+            MPI.barrier(cart)
+
+
+class TestFacade:
+    def test_mana_facade_surface_matches_native(self):
+        from repro.impls.facade import _FORWARDED, NativeFacade
+        from repro.mana.wrappers import ManaFacade, ManaRank
+
+        for fn in _FORWARDED:
+            assert hasattr(ManaRank, fn), f"ManaRank missing wrapper {fn}"
+
+    def test_null_handles_distinct_per_kind(self):
+        job = Launcher(JobConfig(nranks=1, impl="mpich", mana=True)).launch(
+            lambda r: HandleWitness()
+        )
+        res = job.run(timeout=60)
+        assert res.status == "completed"
+        mana = job.manas[0]
+        from repro.mpi.api import HandleKind
+
+        nulls = {k: mana.null_vhandle(k) for k in HandleKind.ALL}
+        assert len(set(nulls.values())) == 5
+        assert all(mana.is_null_vhandle(v) for v in nulls.values())
+
+    def test_unknown_attr_raises(self):
+        job = Launcher(JobConfig(nranks=1, impl="mpich", mana=True)).launch(
+            lambda r: HandleWitness()
+        )
+        job.run(timeout=60)
+        from repro.mana.wrappers import ManaFacade
+
+        facade = ManaFacade(job.manas[0])
+        with pytest.raises(AttributeError):
+            facade.NOT_A_THING
+
+    def test_unregistered_user_op_rejected_under_mana(self):
+        class BadOp(MpiApplication):
+            def run(self, ctx):
+                ctx.MPI.op_create(lambda a, b: None, True)
+
+        res = Launcher(JobConfig(nranks=1, impl="mpich", mana=True)).run(
+            lambda r: BadOp(), timeout=60
+        )
+        assert res.status == "failed"
+        assert "registered" in res.first_error()
+
+    def test_cart_served_from_records(self):
+        """Topology queries answered from MANA metadata keep working
+        after a relaunch (where comm_split loses lib-level topology)."""
+        job = Launcher(JobConfig(nranks=4, impl="mpich", mana=True)).launch(
+            lambda r: CartApp()
+        )
+        tk = job.checkpoint_at_iteration("main", 5, mode="relaunch")
+        job.start()
+        tk.wait(60)
+        res = job.wait(60)
+        assert res.status == "completed", res.first_error()
+        for app in res.apps():
+            assert len(set(app.coords)) == 1  # stable across relaunch
