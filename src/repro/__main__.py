@@ -7,6 +7,8 @@ run        run a proxy application (optionally under MANA, optionally
 restart    cold-restart a job from a checkpoint directory, optionally
            under a different MPI implementation
 report     regenerate one (or all) of the paper's tables/figures
+           (``--jobs N`` fans independent cases across N workers)
+bench-smoke  tiny hot-path benchmark vs the checked-in baseline
 apps       list the available proxy applications
 impls      list the simulated MPI implementations and their properties
 """
@@ -96,6 +98,11 @@ def _cmd_report(args) -> int:
               "restart_analysis", "overhead_breakdown", "ablation_ggid",
               "ablation_vid_lookup"]
     )
+    jobs = args.jobs
+    if jobs == 0:
+        from repro.harness.parallel import default_jobs
+
+        jobs = default_jobs()
     cache = CaseCache()
     for name in names:
         fn = getattr(E, name)
@@ -103,10 +110,38 @@ def _cmd_report(args) -> int:
                     "ablation_vid_lookup", "cross_impl_restart",
                     "restart_analysis", "overhead_breakdown"):
             out = fn()
+        elif name in ("figure2", "figure3", "figure4"):
+            out = fn(args.scale, args.ranks_cap or None, cache, jobs=jobs)
         else:
             out = fn(args.scale, args.ranks_cap or None, cache)
         print(out["text"])
         print()
+    return 0
+
+
+def _cmd_bench_smoke(args) -> int:
+    from repro.harness.bench import default_baseline_path, smoke
+
+    try:
+        out = smoke(baseline_path=args.baseline,
+                    max_regression=args.max_regression)
+    except FileNotFoundError:
+        path = args.baseline or default_baseline_path()
+        print(f"bench-smoke: no baseline at {path}\n"
+              f"generate one with: "
+              f"PYTHONPATH=src python benchmarks/bench_hotpath.py")
+        return 2
+    for c in out["checks"]:
+        mark = "ok " if c["ok"] else "FAIL"
+        slow = (f"  ({c['slowdown']:.2f}x slower than baseline)"
+                if c["slowdown"] is not None else "")
+        print(f"[{mark}] {c['metric']}: {c['current']:,.0f} "
+              f"(baseline {c['baseline']:,.0f}){slow}")
+    if not out["ok"]:
+        print(f"bench-smoke: hot-path regression beyond "
+              f"{out['max_regression']}x tolerance")
+        return 1
+    print("bench-smoke: hot path within tolerance")
     return 0
 
 
@@ -178,7 +213,21 @@ def main(argv=None) -> int:
                             "ablation_vid_lookup"])
     p.add_argument("--scale", type=float, default=0.12)
     p.add_argument("--ranks-cap", type=int, default=8)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="run independent figure cases across N worker "
+                        "processes (0 = all available CPUs)")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "bench-smoke",
+        help="tiny hot-path benchmark vs the checked-in baseline",
+    )
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON (default: "
+                        "benchmarks/results/BENCH_hotpath.json)")
+    p.add_argument("--max-regression", type=float, default=5.0,
+                   help="fail when lookups/sec drop more than this factor")
+    p.set_defaults(fn=_cmd_bench_smoke)
 
     p = sub.add_parser("apps", help="list proxy applications")
     p.set_defaults(fn=_cmd_apps)

@@ -94,6 +94,14 @@ class Fabric:
         self._counters: List[_Counters] = [_Counters() for _ in range(nranks)]
         self._seq = itertools.count()
         self._aborted: Optional[BaseException] = None
+        # Monotonic activity counter: bumped (with a broadcast wakeup) on
+        # every event that could complete someone's blocking wait — a new
+        # message, an abort, or an external waker such as the checkpoint
+        # coordinator arming intent.  Wrapper poll loops sleep on it
+        # instead of busy-waiting; virtual-time poll costs are still
+        # charged analytically, so results are unchanged (see
+        # mana/wrappers.py).
+        self._activity = 0
         # pairwise_sent[(src, dst)] — the count MANA's drain exchanges.
         self._pairwise_sent: Dict[Tuple[int, int], int] = {}
         self._pairwise_recvd: Dict[Tuple[int, int], int] = {}
@@ -132,8 +140,42 @@ class Fabric:
             self._counters[dst].posted += 1
             key = (src, dst)
             self._pairwise_sent[key] = self._pairwise_sent.get(key, 0) + 1
+            self._activity += 1
             self._cv.notify_all()
         return msg
+
+    # ------------------------------------------------------------------
+    # event-driven waiting
+    # ------------------------------------------------------------------
+    def wake(self) -> None:
+        """Signal that something a waiter might care about happened.
+
+        Called internally on message posts and aborts, and externally by
+        the checkpoint coordinator when intent is armed (a parked-for-
+        checkpoint rank must notice without waiting out the safety-net
+        timeout).
+        """
+        with self._cv:
+            self._activity += 1
+            self._cv.notify_all()
+
+    def activity_token(self) -> int:
+        """Snapshot the activity counter.  Capture BEFORE checking your
+        completion condition: if the event fires between the check and
+        ``wait_activity``, the stale token makes the wait return at once
+        (no lost-wakeup race)."""
+        with self._lock:
+            return self._activity
+
+    def wait_activity(self, token: int, timeout: float = 0.05) -> int:
+        """Block (real time) until activity advances past ``token``, the
+        fabric aborts, or ``timeout`` elapses.  Returns the current
+        counter.  The timeout is a safety net only — correctness never
+        depends on it, because every completion source calls wake()."""
+        with self._cv:
+            if self._activity == token and self._aborted is None:
+                self._cv.wait(timeout=timeout)
+            return self._activity
 
     # ------------------------------------------------------------------
     # matching / receiving
@@ -242,6 +284,7 @@ class Fabric:
         """Tear the job down: every blocked and future call raises."""
         with self._cv:
             self._aborted = exc or MpiAbort()
+            self._activity += 1
             self._cv.notify_all()
 
     @property

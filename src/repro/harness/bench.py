@@ -1,0 +1,219 @@
+"""Hot-path benchmarks: translation fast lane + parallel harness.
+
+Two measurements back the fast-lane work (see docs/PROTOCOLS.md §8):
+
+* **vid microbenchmark** — raw handle-translation throughput
+  (lookups/second) for three code paths: the fast lane (cache hit),
+  the full single-table path with the cache bypassed (what every
+  translation cost before the fast lane), and the legacy per-type
+  string-keyed design (the paper's §4.1 baseline).  The headline ratio
+  is fast-vs-legacy, the axis the paper's lookup ablation measures;
+  fast-vs-slow is recorded too.
+* **figure2 sweep** — wall-clock for the Figure 2 sweep run serially vs
+  with ``--jobs N`` workers, asserting the rendered values are
+  byte-identical (virtual time is scheduling-independent).
+
+``python -m repro bench-smoke`` runs a tiny version of the
+microbenchmark and fails when throughput regresses more than
+``max_regression``× against the checked-in baseline
+(benchmarks/results/BENCH_hotpath.json), making hot-path regressions a
+CI failure rather than a surprise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+#: Checked-in baseline, relative to the repository root.
+BASELINE_RELPATH = os.path.join(
+    "benchmarks", "results", "BENCH_hotpath.json"
+)
+
+
+def default_baseline_path() -> str:
+    root = os.path.dirname(
+        os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+    )
+    return os.path.join(root, BASELINE_RELPATH)
+
+
+# ----------------------------------------------------------------------
+# vid microbenchmark
+# ----------------------------------------------------------------------
+def _populated_tables(entries: int = 64):
+    """One table per design, each holding ``entries`` request handles."""
+    from repro.mana.legacy import LegacyVirtualIdMaps
+    from repro.mana.virtid import VirtualIdTable
+    from repro.mpi.api import HandleKind
+
+    new = VirtualIdTable(handle_bits=32)
+    legacy = LegacyVirtualIdMaps(handle_bits=32)
+    new_vhs: List[int] = []
+    legacy_vhs: List[int] = []
+    for i in range(entries):
+        new_vhs.append(
+            new.attach(HandleKind.REQUEST, object(), phys=1000 + i)
+        )
+        legacy_vhs.append(
+            legacy.attach(HandleKind.REQUEST, object(), phys=1000 + i)
+        )
+    return new, new_vhs, legacy, legacy_vhs
+
+
+def _rate(fn, handles: List[int], n: int, repeats: int) -> float:
+    """Best-of-``repeats`` calls/second for ``fn(handle)`` over ``n``
+    calls round-robined across ``handles``."""
+    seq = [handles[i % len(handles)] for i in range(n)]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for vh in seq:
+            fn(vh)
+        best = min(best, time.perf_counter() - t0)
+    return n / best if best > 0 else float("inf")
+
+
+def bench_vid_lookup(n: int = 200_000, entries: int = 64,
+                     repeats: int = 3) -> Dict:
+    """Translation throughput (lookups/sec) for the three designs."""
+    from repro.mpi.api import HandleKind
+
+    new, new_vhs, legacy, legacy_vhs = _populated_tables(entries)
+    kind = HandleKind.REQUEST
+
+    # Warm the fast lane, then measure pure cache hits.
+    for vh in new_vhs:
+        new.phys(vh, kind)
+    fast = _rate(lambda vh: new.phys(vh, kind), new_vhs, n, repeats)
+
+    # The pre-fast-lane cost of every translation: extract + entry dict
+    # + kind check + None-phys check, no cache consulted.
+    slow = _rate(
+        lambda vh: new._lookup_slow(vh, kind).phys, new_vhs, n, repeats
+    )
+
+    # The paper's §4.1 baseline: string key construction + per-type maps
+    # + separate metadata maps on every call.
+    legacy_rate = _rate(
+        lambda vh: legacy.phys(vh, kind), legacy_vhs, n, repeats
+    )
+
+    return {
+        "n": n,
+        "entries": entries,
+        "fast_lookups_per_sec": fast,
+        "slow_lookups_per_sec": slow,
+        "legacy_lookups_per_sec": legacy_rate,
+        "speedup_vs_slow": fast / slow,
+        "speedup_vs_legacy": fast / legacy_rate,
+    }
+
+
+# ----------------------------------------------------------------------
+# figure2 sweep: serial vs --jobs wall-clock
+# ----------------------------------------------------------------------
+def bench_figure2_sweep(scale: float = 0.12,
+                        ranks_cap: Optional[int] = 8,
+                        jobs: int = 4) -> Dict:
+    """Wall-clock of the Figure 2 sweep, serial vs ``jobs`` workers.
+
+    Also checks the acceptance property that matters: the parallel run's
+    rendered values are identical to the serial run's.
+    """
+    from repro.harness.experiments import figure2
+    from repro.harness.runner import CaseCache
+
+    t0 = time.perf_counter()
+    serial = figure2(scale, ranks_cap, CaseCache())
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = figure2(scale, ranks_cap, CaseCache(), jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    from repro.harness.parallel import default_jobs
+
+    return {
+        "scale": scale,
+        "ranks_cap": ranks_cap,
+        "jobs": jobs,
+        # Cases are CPU-bound, so speedup approaches min(jobs, cpus);
+        # recorded so single-core container numbers read correctly.
+        "cpus": default_jobs(),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "identical": serial["data"] == parallel["data"],
+    }
+
+
+# ----------------------------------------------------------------------
+# full bench + smoke check
+# ----------------------------------------------------------------------
+def run_hotpath_bench(out_path: Optional[str] = None,
+                      n: int = 200_000,
+                      scale: float = 0.12,
+                      ranks_cap: Optional[int] = 8,
+                      jobs: int = 4) -> Dict:
+    """The full hot-path bench; writes JSON when ``out_path`` is given."""
+    import platform as _platform
+
+    result = {
+        "python": _platform.python_version(),
+        "vid": bench_vid_lookup(n=n),
+        "figure2": bench_figure2_sweep(scale, ranks_cap, jobs),
+    }
+    if out_path:
+        os.makedirs(os.path.dirname(out_path), exist_ok=True)
+        with open(out_path, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return result
+
+
+def smoke(baseline_path: Optional[str] = None,
+          max_regression: float = 5.0,
+          n: int = 20_000) -> Dict:
+    """Tiny vid bench vs the checked-in baseline.
+
+    Compares lookups/second (scale-invariant in ``n``); ``ok`` is False
+    when the fast lane is more than ``max_regression`` times slower than
+    the baseline recorded.  Machine variance is far below 5x; a failure
+    means the fast lane is gone (e.g. an invalidation bug made every
+    hit a miss) or the hot path grew accidental work.
+    """
+    baseline_path = baseline_path or default_baseline_path()
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    now = bench_vid_lookup(n=n, repeats=2)
+    checks = []
+    ok = True
+    for key in ("fast_lookups_per_sec", "slow_lookups_per_sec"):
+        base = baseline["vid"][key]
+        cur = now[key]
+        ratio = base / cur if cur > 0 else float("inf")
+        good = ratio <= max_regression
+        ok = ok and good
+        checks.append({
+            "metric": key,
+            "baseline": base,
+            "current": cur,
+            "slowdown": ratio,
+            "ok": good,
+        })
+    # The fast lane must still actually be faster than the legacy design.
+    faster = now["speedup_vs_legacy"] > 1.0
+    ok = ok and faster
+    checks.append({
+        "metric": "speedup_vs_legacy",
+        "baseline": baseline["vid"]["speedup_vs_legacy"],
+        "current": now["speedup_vs_legacy"],
+        "slowdown": None,
+        "ok": faster,
+    })
+    return {"ok": ok, "max_regression": max_regression, "checks": checks}

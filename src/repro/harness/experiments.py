@@ -102,6 +102,7 @@ def _runtime_figure(
     title: str,
     note: str,
     trials: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Dict:
     import os
 
@@ -110,6 +111,21 @@ def _runtime_figure(
         # The paper's figures are medians of 10 (Figs 2-3) / 25 (Fig 4)
         # trials; default to 1 for bench speed, REPRO_BENCH_TRIALS opts in.
         trials = int(os.environ.get("REPRO_BENCH_TRIALS", "1"))
+    if jobs is not None and jobs > 1:
+        # Fill the cache for the whole sweep in parallel; the rendering
+        # loop below then sees pure (ordered, deterministic) cache hits.
+        cache.prefetch(
+            [
+                dict(
+                    app_name=app, impl=impl, mana=mana, vid_design=vid,
+                    platform=platform, scale=scale, ranks_cap=ranks_cap,
+                    trials=trials,
+                )
+                for app in apps
+                for (impl, mana, vid) in cases
+            ],
+            jobs=jobs,
+        )
     values: Dict[str, Dict[str, Optional[float]]] = {}
     errors: Dict[str, Dict[str, float]] = {}
     results: Dict[str, Dict[str, Optional[object]]] = {}
@@ -157,7 +173,8 @@ def _case_label(impl: str, mana: bool, vid: str) -> str:
 
 
 def figure2(scale: float = 0.2, ranks_cap: Optional[int] = 16,
-            cache: Optional[CaseCache] = None) -> Dict:
+            cache: Optional[CaseCache] = None,
+            jobs: Optional[int] = None) -> Dict:
     """Figure 2: five cases on MPICH and Open MPI (Discovery, prctl)."""
     cases = [
         ("mpich", False, "new"),
@@ -174,12 +191,14 @@ def figure2(scale: float = 0.2, ranks_cap: Optional[int] = 16,
         "MPICH / +37% OpenMPI; SW4 +15%/+18%; CoMD/HPCG/LULESH low); "
         "virtId ~= legacy MANA or slightly faster on MPICH; legacy MANA "
         "cannot run Open MPI at all.",
+        jobs=jobs,
     )
     return out
 
 
 def figure3(scale: float = 0.2, ranks_cap: Optional[int] = 16,
-            cache: Optional[CaseCache] = None) -> Dict:
+            cache: Optional[CaseCache] = None,
+            jobs: Optional[int] = None) -> Dict:
     """Figure 3: ExaMPI (compatible subset) vs MPICH (Discovery)."""
     cases = [
         ("mpich", False, "new"),
@@ -195,11 +214,13 @@ def figure3(scale: float = 0.2, ranks_cap: Optional[int] = 16,
         "Paper shape: MANA+virtId runs ExaMPI (previously impossible); "
         "overhead comparable to MPICH, slightly higher (slower network "
         "software path lengthens MANA's polling).",
+        jobs=jobs,
     )
 
 
 def figure4(scale: float = 0.2, ranks_cap: Optional[int] = 16,
-            cache: Optional[CaseCache] = None) -> Dict:
+            cache: Optional[CaseCache] = None,
+            jobs: Optional[int] = None) -> Dict:
     """Figure 4: Cray MPI on Perlmutter (userspace FSGSBASE present)."""
     cases = [
         ("craympi", False, "new"),
@@ -212,6 +233,7 @@ def figure4(scale: float = 0.2, ranks_cap: Optional[int] = 16,
         "Paper shape: with userspace FSGSBASE the large overheads "
         "disappear (~5% or less: LAMMPS 5.4%, SW4 5.5% -> 4.2% with "
         "virtId).",
+        jobs=jobs,
     )
 
 
@@ -648,15 +670,16 @@ def restart_analysis(scale: float = 0.15, ranks_cap: Optional[int] = 8) -> Dict:
 # everything at once
 # ----------------------------------------------------------------------
 
-def run_all(scale: float = 0.2, ranks_cap: Optional[int] = 16) -> Dict[str, Dict]:
+def run_all(scale: float = 0.2, ranks_cap: Optional[int] = 16,
+            jobs: Optional[int] = None) -> Dict[str, Dict]:
     """Run every experiment; returns {name: result}."""
     cache = CaseCache()
     out = {
         "table1": table1(),
         "table2": table2(),
-        "figure2": figure2(scale, ranks_cap, cache),
-        "figure3": figure3(scale, ranks_cap, cache),
-        "figure4": figure4(scale, ranks_cap, cache),
+        "figure2": figure2(scale, ranks_cap, cache, jobs=jobs),
+        "figure3": figure3(scale, ranks_cap, cache, jobs=jobs),
+        "figure4": figure4(scale, ranks_cap, cache, jobs=jobs),
         "section63": section63(scale, ranks_cap, cache),
         "table3": table3(min(scale, 0.15), min(ranks_cap or 12, 12)),
         "cross_impl_restart": cross_impl_restart(),

@@ -9,7 +9,7 @@ virtual runtime, context switches, call counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import APP_CLASSES
 from repro.runtime import JobConfig, Launcher
@@ -140,14 +140,57 @@ def run_case(
 
 
 class CaseCache:
-    """Memoizes case results within one benchmark session (several
-    experiments share the native baselines)."""
+    """Memoizes case *outcomes* within one benchmark session (several
+    experiments share the native baselines).
+
+    Failures are cached alongside successes and re-raised by ``get``:
+    the expected ``IncompatibleHandleError`` of legacy-design-on-64-bit
+    cases renders as the same "n/a" figure cell every time without
+    re-running the doomed case.  ``prefetch`` fills the cache for a
+    whole sweep at once, optionally in parallel (see
+    :mod:`repro.harness.parallel`).
+    """
 
     def __init__(self) -> None:
-        self._cache: Dict[Tuple, CaseResult] = {}
+        #: key -> ("ok", CaseResult) | ("err", exception)
+        self._outcomes: Dict[Tuple, Tuple[str, object]] = {}
+
+    @staticmethod
+    def _key(kwargs: Dict) -> Tuple:
+        return tuple(sorted(kwargs.items()))
 
     def get(self, **kwargs) -> CaseResult:
-        key = tuple(sorted(kwargs.items()))
-        if key not in self._cache:
-            self._cache[key] = run_case(**kwargs)
-        return self._cache[key]
+        key = self._key(kwargs)
+        out = self._outcomes.get(key)
+        if out is None:
+            try:
+                out = ("ok", run_case(**kwargs))
+            except Exception as exc:
+                out = ("err", exc)
+            self._outcomes[key] = out
+        status, payload = out
+        if status == "err":
+            raise payload
+        return payload
+
+    def prefetch(
+        self, cases: Sequence[Dict], jobs: Optional[int] = None
+    ) -> int:
+        """Run every not-yet-cached case (deduplicated), ``jobs`` at a
+        time, and store the outcomes.  Returns how many cases ran.
+        Subsequent ``get`` calls are pure cache hits, raising exactly
+        what a serial run would have raised."""
+        from repro.harness.parallel import run_cases
+
+        keys: List[Tuple] = []
+        todo: List[Dict] = []
+        for kw in cases:
+            key = self._key(kw)
+            if key in self._outcomes or key in keys:
+                continue
+            keys.append(key)
+            todo.append(dict(kw))
+        if todo:
+            for key, out in zip(keys, run_cases(todo, jobs=jobs)):
+                self._outcomes[key] = out
+        return len(todo)

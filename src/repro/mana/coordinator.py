@@ -85,6 +85,13 @@ class CheckpointCoordinator:
         self._lock = threading.Lock()
         self._intent: Optional[CheckpointTicket] = None
         self._aborted: Optional[BaseException] = None
+        # Optional callable invoked whenever checkpoint intent is armed:
+        # the runtime wires it to Fabric.wake so ranks blocked in an
+        # event-driven wait notice the intent immediately instead of
+        # after the wait's safety-net timeout.
+        self.waker: Optional[Callable[[], None]] = None
+        # Wakes finalize_rank waiters (shares self._lock).
+        self._fin_cv = threading.Condition(self._lock)
 
         # Phase barriers (reusable).  quiesce -> drained -> saved -> resumed.
         self._bar_quiesce = threading.Barrier(nranks, action=self._on_quiesced)
@@ -154,7 +161,21 @@ class CheckpointCoordinator:
             self._rank_clocks.clear()
             self._rank_bytes.clear()
             self._intent = ticket
-            return ticket
+        self._notify_intent()
+        return ticket
+
+    def _notify_intent(self) -> None:
+        """Intent was just armed: wake every event-driven waiter (fabric
+        waits via the waker hook, trivial-barrier and finalize waiters
+        via their condition variables).  Called WITHOUT self._lock held —
+        the waker takes the fabric's lock."""
+        waker = self.waker
+        if waker is not None:
+            waker()
+        with self._tb_cv:
+            self._tb_cv.notify_all()
+        with self._fin_cv:
+            self._fin_cv.notify_all()
 
     def checkpoint_at_iteration(
         self,
@@ -193,6 +214,7 @@ class CheckpointCoordinator:
         triggers are armed)."""
         if not self._pending_triggers and self._interval is None:
             return
+        armed = False
         with self._lock:
             if self._intent is not None or self._ckpt_disabled:
                 return
@@ -204,9 +226,11 @@ class CheckpointCoordinator:
                     self._rank_clocks.clear()
                     self._rank_bytes.clear()
                     self._intent = trig["ticket"]
-                    return
+                    armed = True
+                    break
             if (
-                self._interval is not None
+                not armed
+                and self._interval is not None
                 and vtime is not None
                 and vtime - self._last_ckpt_vtime >= self._interval
             ):
@@ -221,6 +245,9 @@ class CheckpointCoordinator:
                 self._rank_clocks.clear()
                 self._rank_bytes.clear()
                 self._intent = ticket
+                armed = True
+        if armed:
+            self._notify_intent()
 
     @property
     def intent(self) -> Optional[CheckpointTicket]:
@@ -244,12 +271,11 @@ class CheckpointCoordinator:
         MANA keeping its checkpoint thread alive until teardown).  When
         the last rank arrives, checkpointing is disabled and any armed
         but unstarted request is cancelled."""
-        import time as _time
-
         while True:
-            with self._lock:
+            with self._fin_cv:
                 self._raise_if_aborted()
                 self._finalized.add(rank)
+                self._fin_cv.notify_all()
                 if len(self._finalized) == self.nranks:
                     if not self._ckpt_disabled:
                         self._ckpt_disabled = True
@@ -270,8 +296,11 @@ class CheckpointCoordinator:
                     return
                 if self._ckpt_disabled:
                     return
+                if self._intent is None:
+                    # Nothing to park for: sleep until another rank
+                    # finalizes or intent arms (timeout = safety net).
+                    self._fin_cv.wait(timeout=0.05)
             park_check()
-            _time.sleep(0.001)
 
     # ------------------------------------------------------------------
     # LOOP-kind election
@@ -442,8 +471,10 @@ class CheckpointCoordinator:
                     state["arrived"].discard(rank)
                     want_park = True
                 else:
+                    # Arrivals and intent arming both notify this CV, so
+                    # the timeout is only a safety net.
                     self._tb_cv.notify_all()
-                    self._tb_cv.wait(timeout=0.002)
+                    self._tb_cv.wait(timeout=0.05)
             if want_park:
                 park_check()
 
@@ -477,6 +508,7 @@ class CheckpointCoordinator:
                 if t.error is None:
                     t.error = self._aborted
                 t._done.set()
+            self._fin_cv.notify_all()  # shares self._lock
         for b in (
             self._bar_quiesce, self._bar_drained,
             self._bar_saved, self._bar_resumed,

@@ -17,7 +17,11 @@ time of checkpoint", §2.1).  The *virtual* cost of polling is charged
 analytically — ``wait_time / poll_cycle`` extra crossings — so reported
 times are deterministic regardless of host scheduling, while still
 reproducing the mechanism behind Open MPI's higher overhead (slower
-network calls → longer waits → more polls, §6.1).
+network calls → longer waits → more polls, §6.1).  In *real* time the
+loops are event-driven: instead of sleeping a fixed poll interval they
+block on the fabric's activity counter (woken by message arrival,
+abort, or checkpoint-intent arming), so blocking-heavy runs stop
+burning wall-clock without changing any reported number.
 
 Collectives are two-phase: a checkpoint-tolerant *trivial barrier*
 (hosted by the coordinator) followed by the real lower-half collective
@@ -26,7 +30,6 @@ as a critical section.
 
 from __future__ import annotations
 
-import time as _time
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,7 +69,6 @@ from repro.util.errors import (
 )
 from repro.util.registry import USER_OPS
 
-_POLL_SLEEP = 0.0002  # real seconds between poll iterations
 _MAX_POLL_CHARGES = 100_000  # cap on analytically charged polls per wait
 
 
@@ -308,8 +310,9 @@ class ManaRank:
         if vh is not None:
             entry = self.vids.lookup(vh)
             if entry.phys is None:
-                # Rebind on demand (e.g. right after a restart).
-                entry.phys = self.lower.constant(name)
+                # Rebind on demand (e.g. right after a restart) — through
+                # set_phys so the fast lane and reverse map stay coherent.
+                self.vids.set_phys(vh, self.lower.constant(name))
             return vh
         phys = self.lower.constant(name)
         kind = mana_constants.constant_kind(name)
@@ -591,6 +594,11 @@ class ManaRank:
             return Status(source=C.PROC_NULL, tag=C.ANY_TAG)
         t_enter = self.clock.now
         while True:
+            # Token BEFORE the completion checks: an arrival in between
+            # makes wait_activity return at once (no lost wakeup).  The
+            # analytic poll cost below is what the *results* see; the
+            # real-time loop merely sleeps until something changes.
+            token = self.fabric.activity_token()
             centry = self._comm(comm_v)
             dentry = self._dtype(dtype_v)
             st = self._recv_from_drain(
@@ -610,7 +618,7 @@ class ManaRank:
                 self._charge_wait_polls(t_enter)
                 return st
             self._maybe_checkpoint()
-            _time.sleep(_POLL_SLEEP)
+            self.fabric.wait_activity(token)
             if self.fabric.aborted:
                 raise MpiError("job aborted during recv", "MPI_ERR_OTHER")
 
@@ -816,13 +824,14 @@ class ManaRank:
         self._enter()
         t_enter = self.clock.now
         while True:
+            token = self.fabric.activity_token()
             flag, st = self._test_impl(request_v)
             if flag:
                 self._extra_lib_calls(1)  # the MPI_Test that completed it
                 self._charge_wait_polls(t_enter)
                 return st
             self._maybe_checkpoint()
-            _time.sleep(_POLL_SLEEP)
+            self.fabric.wait_activity(token)
             if self.fabric.aborted:
                 raise MpiError("job aborted during wait", "MPI_ERR_OTHER")
 
@@ -832,6 +841,7 @@ class ManaRank:
         statuses: List[Optional[Status]] = [None] * len(requests)
         pending = set(range(len(requests)))
         while pending:
+            token = self.fabric.activity_token()
             progressed = False
             for i in list(pending):
                 flag, st = self._test_impl(requests[i])
@@ -841,7 +851,7 @@ class ManaRank:
                     progressed = True
             if pending and not progressed:
                 self._maybe_checkpoint()
-                _time.sleep(_POLL_SLEEP)
+                self.fabric.wait_activity(token)
                 if self.fabric.aborted:
                     raise MpiError(
                         "job aborted during waitall", "MPI_ERR_OTHER"
@@ -904,6 +914,7 @@ class ManaRank:
             raise MpiError("waitany on empty request list", "MPI_ERR_REQUEST")
         t_enter = self.clock.now
         while True:
+            token = self.fabric.activity_token()
             for i, r in enumerate(requests):
                 flag, st = self._test_impl(r)
                 if flag:
@@ -911,7 +922,7 @@ class ManaRank:
                     self._charge_wait_polls(t_enter)
                     return i, st
             self._maybe_checkpoint()
-            _time.sleep(_POLL_SLEEP)
+            self.fabric.wait_activity(token)
             if self.fabric.aborted:
                 raise MpiError("job aborted during waitany", "MPI_ERR_OTHER")
 
@@ -961,6 +972,7 @@ class ManaRank:
         self._enter()
         t_enter = self.clock.now
         while True:
+            token = self.fabric.activity_token()
             centry = self._comm(comm_v)
             msg = self.drain_buffer.match(
                 centry.vid, self._src_world(centry, source), tag, remove=False
@@ -978,7 +990,7 @@ class ManaRank:
                 self._charge_wait_polls(t_enter)
                 return st
             self._maybe_checkpoint()
-            _time.sleep(_POLL_SLEEP)
+            self.fabric.wait_activity(token)
             if self.fabric.aborted:
                 raise MpiError("job aborted during probe", "MPI_ERR_OTHER")
 

@@ -751,14 +751,16 @@ class BaseMpiLib:
 
     @mpi_call
     def probe(self, source: int, tag: int, comm: int) -> Status:
-        import time as _time
-
         # Blocking probe built on iprobe (keeps the fabric API minimal).
+        # Event-driven: sleep on the fabric's activity counter instead of
+        # spinning; the token is taken before the check so an arrival in
+        # between makes the wait return immediately.
         while True:
+            token = self.fabric.activity_token()
             flag, status = self.iprobe.__wrapped__(self, source, tag, comm)
             if flag:
                 return status
-            _time.sleep(0.0005)
+            self.fabric.wait_activity(token)
 
     @mpi_call
     def sendrecv(
@@ -776,16 +778,15 @@ class BaseMpiLib:
     def waitany(self, requests: Sequence[int]) -> Tuple[int, Status]:
         """MPI_Waitany: block until one request completes; returns its
         index and status."""
-        import time as _time
-
         if not requests:
             raise MpiError("waitany on empty request list", "MPI_ERR_REQUEST")
         while True:
+            token = self.fabric.activity_token()
             for i, r in enumerate(requests):
                 flag, st = self.test.__wrapped__(self, r)
                 if flag:
                     return i, st
-            _time.sleep(0.0005)
+            self.fabric.wait_activity(token)
             if self.fabric.aborted:
                 raise MpiError("job aborted during waitany", "MPI_ERR_OTHER")
 

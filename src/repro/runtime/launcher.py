@@ -137,6 +137,10 @@ class Job:
                 self.coordinator.enable_interval_checkpoints(
                     config.ckpt_interval
                 )
+            # Arming checkpoint intent must wake ranks blocked in the
+            # fabric's event-driven waits (recv/wait/probe), or checkpoint
+            # latency degrades to the waits' safety-net timeout.
+            self.coordinator.waker = self.fabric.wake
         self._threads: List[threading.Thread] = []
         self._outcomes: List[RankOutcome] = [
             RankOutcome(r) for r in range(config.nranks)

@@ -16,6 +16,7 @@ Section 6's two testbeds:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import replace
 
 from repro.simtime.cost import CostModel, NetworkProfile
@@ -31,8 +32,13 @@ _DISCOVERY_TCP = {
 PLATFORMS = ("discovery", "perlmutter")
 
 
+@functools.lru_cache(maxsize=None)
 def cost_model_for(platform: str, impl: str) -> CostModel:
-    """The complete cost model for one (platform, implementation) pair."""
+    """The complete cost model for one (platform, implementation) pair.
+
+    Memoized: every profile dataclass is frozen, so one instance is
+    safely shared by every rank, fabric, and coordinator of every job
+    (it used to be rebuilt twice per rank per job)."""
     if platform == "discovery":
         base = CostModel.discovery()
         try:

@@ -1,0 +1,190 @@
+"""Hot-path fast lane: hit accounting and strict invalidation.
+
+The cache may never be observable through translation *results* — only
+through the counters (``lookup_count``, ``cache_hits``, ``cache_epoch``)
+and, of course, speed.  Every test here drives a mutation the fast lane
+must survive (rebind, free, lower-half swap, cross-impl restart) and
+asserts translations behave exactly as an uncached table would.
+"""
+
+import pickle
+
+import pytest
+
+from repro import JobConfig, Launcher
+from repro.mana.virtid import VirtualIdTable
+from repro.mpi.api import HandleKind
+from repro.util.errors import InvalidHandleError
+from tests.miniapps import RingApp
+
+NRANKS = 4
+
+
+def _table(handle_bits=32):
+    t = VirtualIdTable(handle_bits=handle_bits)
+    vh = t.attach(HandleKind.REQUEST, object(), phys=111)
+    return t, vh
+
+
+class TestHitAccounting:
+    def test_first_phys_misses_then_hits(self):
+        t, vh = _table()
+        assert t.phys(vh, HandleKind.REQUEST) == 111
+        assert t.cache_hits == 0          # cold: went down the slow path
+        before = t.lookup_count
+        assert t.phys(vh, HandleKind.REQUEST) == 111
+        assert t.cache_hits == 1          # warm: fast lane
+        assert t.lookup_count == before + 1   # accounting never skipped
+
+    def test_lookup_hit_counts(self):
+        t, vh = _table()
+        e1 = t.lookup(vh)
+        e2 = t.lookup(vh)
+        assert e1 is e2
+        assert t.cache_hits == 1
+        assert t.lookup_count == 2
+
+    def test_kind_dispatch_is_per_kind(self):
+        """A hit under kind=None must not satisfy a kinded probe (and
+        vice versa): the kind check is part of correctness."""
+        t, vh = _table()
+        assert t.phys(vh) == 111                      # fills kind=None
+        assert t.phys(vh, HandleKind.REQUEST) == 111  # separate fill
+        assert t.cache_hits == 0
+        with pytest.raises(InvalidHandleError, match="is a request"):
+            t.phys(vh, HandleKind.COMM)
+
+    def test_both_embedding_widths_cached(self):
+        t, vh = _table(handle_bits=64)
+        assert vh >= (1 << 32)
+        t.phys(vh, HandleKind.REQUEST)
+        t.phys(vh, HandleKind.REQUEST)
+        assert t.cache_hits == 1
+
+
+class TestInvalidation:
+    def test_set_phys_never_serves_stale(self):
+        t, vh = _table()
+        assert t.phys(vh) == 111
+        assert t.phys(vh) == 111  # cached
+        t.set_phys(vh, 222)
+        assert t.phys(vh) == 222
+        t.set_phys(vh, None)
+        with pytest.raises(InvalidHandleError, match="no physical binding"):
+            t.phys(vh)
+
+    def test_set_phys_invalidates_kinded_caches_too(self):
+        t, vh = _table()
+        t.phys(vh, HandleKind.REQUEST)
+        t.phys(vh, HandleKind.REQUEST)
+        t.set_phys(vh, 333)
+        assert t.phys(vh, HandleKind.REQUEST) == 333
+
+    def test_remove_evicts(self):
+        t, vh = _table()
+        t.phys(vh)
+        t.lookup(vh)
+        t.remove(vh)
+        with pytest.raises(InvalidHandleError, match="unknown virtual id"):
+            t.phys(vh)
+        with pytest.raises(InvalidHandleError, match="unknown virtual id"):
+            t.lookup(vh)
+
+    def test_free_recreate_churn(self):
+        """comm_free / comm-create churn: a recycled index must never
+        resurrect the old physical id from the cache."""
+        from repro.mana.records import CommRecord
+
+        t = VirtualIdTable(handle_bits=32)
+        seen = set()
+        for round_ in range(50):
+            rec = CommRecord(world_ranks=(0, 1), ggid=None, dup_seq=round_)
+            vh = t.attach(HandleKind.COMM, rec, phys=10_000 + round_)
+            assert t.phys(vh, HandleKind.COMM) == 10_000 + round_
+            assert t.phys(vh, HandleKind.COMM) == 10_000 + round_
+            seen.add(vh)
+            t.remove(vh)
+            with pytest.raises(InvalidHandleError):
+                t.phys(vh, HandleKind.COMM)
+        assert t.cache_hits >= 50  # the warm probes really were cached
+
+    def test_handle_bits_change_is_a_full_fence(self):
+        """Swapping the lower half (bootstrap/relaunch/cross-impl
+        restart) reassigns the handle width — everything cached dies."""
+        t, vh = _table()
+        t.phys(vh)
+        epoch = t.cache_epoch
+        t.handle_bits = 64
+        assert t.cache_epoch == epoch + 1
+        assert t._fast == {}
+        assert all(not c for c in t._physcache.values())
+        assert t.phys(vh) == 111  # slow path still translates 32-bit vh
+
+    def test_rebuild_reverse_fences(self):
+        t, vh = _table()
+        t.phys(vh)
+        epoch = t.cache_epoch
+        t.rebuild_reverse()
+        assert t.cache_epoch == epoch + 1
+        assert t.phys(vh) == 111
+
+    def test_cache_never_pickled(self):
+        t, vh = _table()
+        t.phys(vh)
+        t.lookup(vh)
+        t2 = pickle.loads(pickle.dumps(t))
+        assert t2._fast == {}
+        assert all(not c for c in t2._physcache.values())
+        # Physical ids died with the lower half, as always.
+        with pytest.raises(InvalidHandleError, match="no physical binding"):
+            t2.phys(vh)
+
+
+class TestEntriesOrder:
+    def test_insertion_order_is_creation_order(self):
+        t = VirtualIdTable(handle_bits=32)
+        vhs = [t.attach(HandleKind.REQUEST, object(), phys=i)
+               for i in range(8)]
+        t.remove(vhs[3])
+        seqs = [e.creation_seq for e in t.entries()]
+        assert seqs == sorted(seqs)
+
+    def test_order_restored_after_pickle(self):
+        t = VirtualIdTable(handle_bits=32)
+        for i in range(8):
+            t.attach(HandleKind.REQUEST, object(), phys=i)
+        t2 = pickle.loads(pickle.dumps(t))
+        seqs = [e.creation_seq for e in t2.entries()]
+        assert seqs == sorted(seqs)
+
+
+class TestCrossImplRestartInvalidation:
+    def test_32_to_64_restart_reprimes_cache(self, tmp_path):
+        """Checkpoint under MPICH (32-bit handles), restart under Open
+        MPI (64-bit pointers): the restarted tables must have fenced the
+        fast lane (fresh epoch, empty caches) and then re-prime it with
+        the *new* lower half's physical ids."""
+        ckdir = str(tmp_path / "ck")
+        cfg = JobConfig(nranks=NRANKS, impl="mpich", mana=True,
+                        ckpt_dir=ckdir)
+        job = Launcher(cfg).launch(lambda r: RingApp(24))
+        tk = job.checkpoint_at_iteration("main", 8, kind="loop",
+                                         mode="exit")
+        job.start()
+        tk.wait(120)
+        assert job.wait(120).status == "preempted"
+
+        job2 = Launcher(cfg).restart(ckdir, impl_override="openmpi")
+        res2 = job2.run(timeout=120)
+        assert res2.status == "completed", res2.first_error()
+        for mana in job2.manas:
+            vids = mana.vids
+            # Replay and the width switch fenced the cache at least once.
+            assert vids.cache_epoch >= 1
+            # The run after restart translated through the fast lane.
+            assert vids.cache_hits > 0
+            assert vids.lookup_count >= vids.cache_hits
+            # Whatever is cached now agrees with the entries table.
+            for vh, entry in vids._fast.items():
+                assert vids.extract(vh) == entry.vid
+                assert vids._entries[entry.vid] is entry

@@ -1,0 +1,79 @@
+"""Parallel experiment harness: ordering, determinism, error mapping.
+
+The whole contract is "byte-identical to serial, just sooner": outcomes
+come back in submission order, failures are data mapped to their slot,
+and a parallel figure renders exactly the serial figure.
+"""
+
+import pytest
+
+from repro.harness.parallel import default_jobs, run_cases
+from repro.harness.runner import CaseCache
+from repro.util.errors import IncompatibleHandleError
+
+# Small enough that a whole figure sweep stays test-suite friendly.
+FAST = dict(scale=0.05, ranks_cap=4)
+
+
+def _kw(app, impl, mana, vid="new"):
+    return dict(app_name=app, impl=impl, mana=mana, vid_design=vid,
+                platform="discovery", **FAST)
+
+
+class TestRunCases:
+    def test_empty(self):
+        assert run_cases([], jobs=4) == []
+
+    def test_outcomes_in_submission_order(self):
+        kws = [
+            _kw("comd", "mpich", False),
+            # Doomed: legacy 32-bit ints on a 64-bit-pointer MPI.
+            _kw("comd", "openmpi", True, vid="legacy"),
+            _kw("comd", "mpich", True),
+        ]
+        outcomes = run_cases(kws, jobs=3)
+        assert [s for s, _ in outcomes] == ["ok", "err", "ok"]
+        ok0, ok2 = outcomes[0][1], outcomes[2][1]
+        assert (ok0.impl, ok0.mana) == ("mpich", False)
+        assert (ok2.impl, ok2.mana) == ("mpich", True)
+        assert isinstance(outcomes[1][1], IncompatibleHandleError)
+
+    def test_parallel_matches_serial(self):
+        kws = [_kw("comd", "mpich", False), _kw("comd", "mpich", True)]
+        serial = run_cases(kws, jobs=1)
+        parallel = run_cases(kws, jobs=2)
+        assert [s for s, _ in serial] == [s for s, _ in parallel] == ["ok", "ok"]
+        for (_, a), (_, b) in zip(serial, parallel):
+            assert a == b  # CaseResult is a dataclass: full field equality
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestCaseCachePrefetch:
+    def test_prefetch_dedupes_and_get_hits(self):
+        cache = CaseCache()
+        kw = _kw("comd", "mpich", False)
+        ran = cache.prefetch([kw, dict(kw), dict(kw)], jobs=2)
+        assert ran == 1
+        res = cache.get(**kw)
+        assert res.status == "completed"
+        assert cache.prefetch([kw], jobs=2) == 0  # already cached
+
+    def test_cached_errors_reraise(self):
+        cache = CaseCache()
+        kw = _kw("comd", "openmpi", True, vid="legacy")
+        cache.prefetch([kw], jobs=2)
+        for _ in range(2):  # raises from cache every time
+            with pytest.raises(IncompatibleHandleError):
+                cache.get(**kw)
+
+
+class TestFigureDeterminism:
+    def test_figure2_parallel_identical_to_serial(self):
+        from repro.harness.experiments import figure2
+
+        serial = figure2(0.05, 4, CaseCache())
+        parallel = figure2(0.05, 4, CaseCache(), jobs=4)
+        assert parallel["data"] == serial["data"]
+        assert parallel["text"] == serial["text"]
