@@ -10,6 +10,10 @@ Public surface (see README.md for a tour):
   relaunch / preempt), and ``Launcher.restart(...)`` — cold restart,
   optionally under a different MPI implementation;
 * :mod:`repro.apps` — the five proxy applications of Section 6;
+* :mod:`repro.faults` — deterministic fault injection
+  (``JobConfig(faults=FaultPlan(...))``) and, with
+  ``Launcher(cfg, RestartPolicy(...)).supervise(...)``, self-healing
+  recovery from the latest restorable checkpoint generation;
 * :mod:`repro.harness` — regenerates every table and figure of the paper.
 """
 
@@ -20,8 +24,11 @@ from repro.runtime import (
     Launcher,
     MpiApplication,
     RankContext,
+    RestartPolicy,
 )
+from repro.faults import FaultPlan, FaultSpec
 from repro.mana.coordinator import CheckpointKind, CheckpointMode
+from repro.util.errors import InjectedFault
 from repro.util.registry import user_op
 
 __version__ = "1.0.0"
@@ -33,6 +40,10 @@ __all__ = [
     "Launcher",
     "MpiApplication",
     "RankContext",
+    "RestartPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "CheckpointKind",
     "CheckpointMode",
     "user_op",

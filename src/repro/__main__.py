@@ -9,6 +9,10 @@ restart    cold-restart a job from a checkpoint directory, optionally
 report     regenerate one (or all) of the paper's tables/figures
            (``--jobs N`` fans independent cases across N workers)
 bench-smoke  tiny hot-path benchmark vs the checked-in baseline
+faults     seeded fault-injection scenario sweep (crash / corruption /
+           disk-full / coordinator stall -> supervised self-healing)
+fault-smoke  CI smoke: acceptance scenario twice, asserting the job
+           self-heals and the recovery trace is deterministic
 apps       list the available proxy applications
 impls      list the simulated MPI implementations and their properties
 """
@@ -145,6 +149,59 @@ def _cmd_bench_smoke(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults.scenarios import SCENARIOS, run_scenario
+
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    failed = 0
+    for name in names:
+        out = run_scenario(name, seed=args.seed)
+        mark = "ok " if out["ok"] else "FAIL"
+        restored = [e["generation"] for e in out.get("events", [])
+                    if e.get("event") == "restart"]
+        print(f"[{mark}] {name}: status={out['status']} "
+              f"restarts={out['restarts']} restored_gens={restored} "
+              f"faults_fired={len(out['faults_fired'])}")
+        if args.verbose:
+            for ev in out.get("events", []):
+                print(f"       event: {ev}")
+            for ev in out["faults_fired"]:
+                print(f"       fault: {ev['what']}")
+            print(f"       checksums: {out['checksums']}")
+        if not out["ok"]:
+            failed += 1
+            print(f"       checksums: {out['checksums']}")
+            print(f"       baseline : {out['baseline']}")
+    if failed:
+        print(f"faults: {failed}/{len(names)} scenario(s) FAILED")
+        return 1
+    print(f"faults: all {len(names)} scenario(s) self-healed "
+          f"(seed {args.seed})")
+    return 0
+
+
+def _cmd_fault_smoke(args) -> int:
+    from repro.faults.scenarios import fault_smoke
+
+    out = fault_smoke(seed=args.seed)
+    run = out["run"]
+    restored = [e["generation"] for e in run["events"]
+                if e["event"] == "restart"]
+    print(f"self-heal    : {'ok' if out['self_heal_ok'] else 'FAIL'} "
+          f"(status={run['status']}, restarts={run['restarts']}, "
+          f"restored_gens={restored})")
+    print(f"checksums    : "
+          f"{'match fault-free run' if run['checksums'] == run['baseline'] else 'MISMATCH'}")
+    print(f"deterministic: {'ok' if out['deterministic'] else 'FAIL'} "
+          f"(recovery trace identical across two seeded runs)")
+    if not out["ok"]:
+        print("fault-smoke: FAILED")
+        return 1
+    print("fault-smoke: seeded crash + corruption recovered "
+          "deterministically")
+    return 0
+
+
 def _cmd_apps(_args) -> int:
     from repro.apps import APP_CLASSES, EXAMPI_COMPATIBLE
 
@@ -228,6 +285,25 @@ def main(argv=None) -> int:
     p.add_argument("--max-regression", type=float, default=5.0,
                    help="fail when lookups/sec drop more than this factor")
     p.set_defaults(fn=_cmd_bench_smoke)
+
+    p = sub.add_parser(
+        "faults",
+        help="seeded fault-injection sweep with supervised self-healing",
+    )
+    p.add_argument("scenario", nargs="?", default="all",
+                   choices=["all", "crash-restore", "self-heal",
+                            "disk-full", "truncate-fallback",
+                            "round-abort", "msg-delay"])
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "fault-smoke",
+        help="CI smoke: seeded crash+corruption recovery, deterministic",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=_cmd_fault_smoke)
 
     p = sub.add_parser("apps", help="list proxy applications")
     p.set_defaults(fn=_cmd_apps)

@@ -88,6 +88,9 @@ class Fabric:
         # congestion noise without sacrificing reproducibility.
         self.latency_jitter = latency_jitter
         self.jitter_seed = jitter_seed
+        # Optional repro.faults.FaultInjector (set by the Job when a
+        # FaultPlan is installed); None on the hot path.
+        self.injector = None
         self._lock = threading.Lock()
         self._cv = threading.Condition(self._lock)
         self._queues: List[List[Message]] = [[] for _ in range(nranks)]
@@ -124,6 +127,21 @@ class Fabric:
         cost = self.cost_model.message_cost(len(payload))
         if self.latency_jitter > 0.0:
             cost *= 1.0 + self.latency_jitter * self._jitter_draw()
+        if self.injector is not None:
+            verdict = self.injector.on_message(src, dst, tag, len(payload))
+            if verdict is not None:
+                what, seconds = verdict
+                if what == "drop":
+                    # The message is lost on the wire: never enqueued,
+                    # counters untouched.  The receiver blocks until the
+                    # job's deadline abort fires (then the supervisor
+                    # takes over).
+                    return Message(
+                        seq=next(self._seq), src=src, dst=dst, tag=tag,
+                        context_id=context_id, payload=payload,
+                        send_time=send_time, arrive_time=send_time + cost,
+                    )
+                cost += seconds  # "delay": extra virtual latency
         msg = Message(
             seq=next(self._seq),
             src=src,

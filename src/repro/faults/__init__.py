@@ -1,0 +1,18 @@
+"""Deterministic fault injection and self-healing recovery.
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  the declarative, seeded description of what to break and when;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the runtime
+  object consulted at the hook points (wrappers, fabric, coordinator,
+  checkpoint writer);
+* :mod:`repro.faults.scenarios` — end-to-end survival scenarios behind
+  ``python -m repro faults`` / ``fault-smoke`` (imported lazily: it
+  pulls in the whole runtime).
+
+See docs/PROTOCOLS.md §9 for the fault model and recovery protocol.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultPlan", "FaultSpec", "FaultInjector"]

@@ -1,0 +1,350 @@
+"""End-to-end fault/survival scenarios (``python -m repro faults``).
+
+Each scenario builds a seeded :class:`FaultPlan`, runs a small ring
+application under supervision, and checks that the job self-heals:
+auto-restarts from the latest restorable checkpoint generation and
+finishes with per-rank checksums equal to a fault-free run of the same
+seed.  ``fault_smoke`` is the CI entry point: it runs the acceptance
+scenario twice and asserts the recovery trace (events, fired faults,
+virtual times) is bit-identical across runs.
+
+Everything here is deterministic: checkpoints are armed at fixed loop
+iterations (never wall-clock), crashes fire at loop/phase coordinates,
+and corruption offsets derive from the plan seed.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import (
+    CORRUPT_BITFLIP,
+    CORRUPT_TRUNCATE,
+    SITE_MID_SAVE,
+    FaultPlan,
+)
+from repro.runtime import JobConfig, Launcher, MpiApplication
+from repro.runtime.launcher import RestartPolicy
+
+#: Iterations at which the LOOP-kind checkpoint triggers are armed.  With
+#: ``loop_lag_window=2`` the ranks park at 4, 8, and 12 — generations
+#: 1, 2, and 3.
+TRIGGER_ITERS = (2, 6, 10)
+NITERS = 16
+NRANKS = 4
+LAG_WINDOW = 2
+
+
+class SurvivorApp(MpiApplication):
+    """Ring exchange + allreduce with a per-rank running checksum.
+
+    Module-level (picklable) so checkpoint images of it restore in a
+    brand-new process; the checksum is a pure function of (rank, nranks,
+    iterations completed), which is what lets scenarios compare a
+    recovered run against a fault-free one.
+    """
+
+    name = "survivor"
+
+    def __init__(self, niters: int = NITERS):
+        self.niters = niters
+        self.acc = np.zeros(1)
+
+    def run(self, ctx):
+        MPI = ctx.MPI
+        w = MPI.COMM_WORLD
+        nxt = (ctx.rank + 1) % ctx.nranks
+        prv = (ctx.rank - 1) % ctx.nranks
+        for it in ctx.loop("main", self.niters):
+            ctx.compute(0.002)
+            sb = np.array([float(ctx.rank + 1) * (it + 1)])
+            MPI.send(sb, 1, MPI.DOUBLE, nxt, 9, w)
+            rb = np.zeros(1)
+            MPI.recv(rb, 1, MPI.DOUBLE, prv, 9, w)
+            out = np.zeros(1)
+            MPI.allreduce(rb, out, 1, MPI.DOUBLE, MPI.SUM, w)
+            self.acc[0] += out[0] * (it + 1)
+
+    @property
+    def checksum(self) -> float:
+        return float(self.acc[0])
+
+
+def _arm_triggers(job) -> None:
+    for it in TRIGGER_ITERS:
+        job.checkpoint_at_iteration("main", it, kind="loop")
+
+
+def _config(ckpt_dir: str, seed: int,
+            plan: Optional[FaultPlan]) -> JobConfig:
+    return JobConfig(
+        nranks=NRANKS, impl="mpich", mana=True, seed=seed,
+        ckpt_dir=ckpt_dir, loop_lag_window=LAG_WINDOW,
+        deadline=60.0, faults=plan,
+    )
+
+
+def _checksums(res) -> List[Optional[float]]:
+    return [
+        round(a.checksum, 9) if a is not None else None
+        for a in res.apps()
+    ]
+
+
+def _injector_trace(cfg: JobConfig) -> List[dict]:
+    # Job.__init__ wrapped the plan into its injector in-place.
+    inj = cfg.faults
+    return inj.trace() if inj is not None and hasattr(inj, "trace") else []
+
+
+def baseline_checksums(seed: int) -> List[float]:
+    """Per-rank checksums of a fault-free run (same seed, same armed
+    checkpoints) — the reference every survival scenario must match."""
+    tmp = tempfile.mkdtemp(prefix="repro-faults-base-")
+    try:
+        cfg = _config(tmp, seed, None)
+        job = Launcher(cfg).launch(lambda r: SurvivorApp())
+        _arm_triggers(job)
+        res = job.run(60.0)
+        if res.status != "completed":
+            raise RuntimeError(
+                f"fault-free baseline failed: {res.first_error()}"
+            )
+        return _checksums(res)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _supervised(seed: int, plan: FaultPlan, workdir: Optional[str],
+                max_restarts: int = 2) -> Dict:
+    """Run SurvivorApp under supervision with ``plan`` installed and
+    summarize the outcome against the fault-free baseline."""
+    tmp = workdir or tempfile.mkdtemp(prefix="repro-faults-")
+    own = workdir is None
+    try:
+        cfg = _config(tmp, seed, plan)
+        launcher = Launcher(cfg, RestartPolicy(max_restarts=max_restarts))
+        res = launcher.supervise(
+            lambda r: SurvivorApp(), timeout=60.0, on_launch=_arm_triggers,
+        )
+        return {
+            "status": res.status,
+            "restarts": res.restarts,
+            "events": res.recovery_events,
+            "checksums": _checksums(res),
+            "baseline": baseline_checksums(seed),
+            "faults_fired": _injector_trace(cfg),
+            "runtime": round(res.runtime, 9),
+        }
+    finally:
+        if own:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+def scenario_crash_restore(seed: int = 7,
+                           workdir: Optional[str] = None) -> Dict:
+    """A rank dies mid-loop after generation 2 exists; the supervisor
+    restores generation 2 and the job completes."""
+    plan = FaultPlan(seed=seed).crash_at_loop(rank=1, iteration=9)
+    out = _supervised(seed, plan, workdir)
+    out["ok"] = (
+        out["status"] == "completed"
+        and out["restarts"] == 1
+        and out["checksums"] == out["baseline"]
+    )
+    return out
+
+
+def scenario_self_heal(seed: int = 7,
+                       workdir: Optional[str] = None) -> Dict:
+    """The acceptance demo: a rank is killed mid-save of generation 3
+    AND generation 2's rank-0 image is bit-flipped on disk — the
+    supervisor must skip both and restore generation 1."""
+    plan = (
+        FaultPlan(seed=seed)
+        .crash_in_checkpoint(rank=1, generation=3, site=SITE_MID_SAVE)
+        .corrupt_image(generation=2, rank=0, mode=CORRUPT_BITFLIP)
+    )
+    out = _supervised(seed, plan, workdir)
+    restored = [e["generation"] for e in out["events"]
+                if e["event"] == "restart"]
+    out["ok"] = (
+        out["status"] == "completed"
+        and restored == [1]
+        and out["checksums"] == out["baseline"]
+    )
+    return out
+
+
+def scenario_disk_full(seed: int = 7,
+                       workdir: Optional[str] = None) -> Dict:
+    """ENOSPC while rank 1 saves generation 2: the save fails cleanly
+    (no torn image or stray temp file at the final path) and the
+    supervisor resumes from generation 1."""
+    plan = FaultPlan(seed=seed).disk_full(rank=1, generation=2)
+    tmp = workdir or tempfile.mkdtemp(prefix="repro-faults-")
+    try:
+        out = _supervised(seed, plan, tmp)
+        from repro.mana.checkpoint import generation_dir
+
+        gen2 = generation_dir(tmp, 2)
+        leftovers = (
+            [n for n in os.listdir(gen2) if n.endswith(".tmp")]
+            if os.path.isdir(gen2) else []
+        )
+        out["torn_files"] = leftovers
+        out["ok"] = (
+            out["status"] == "completed"
+            and not leftovers
+            and out["checksums"] == out["baseline"]
+        )
+        return out
+    finally:
+        if workdir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def scenario_truncate_fallback(seed: int = 7,
+                               workdir: Optional[str] = None) -> Dict:
+    """Generation 2 is truncated on disk after its round completes plus
+    a later crash: restart must fall back to generation 1."""
+    plan = (
+        FaultPlan(seed=seed)
+        .corrupt_image(generation=2, rank=1, mode=CORRUPT_TRUNCATE)
+        .crash_at_loop(rank=2, iteration=9)
+    )
+    out = _supervised(seed, plan, workdir)
+    restored = [e["generation"] for e in out["events"]
+                if e["event"] == "restart"]
+    out["ok"] = (
+        out["status"] == "completed"
+        and restored == [1]
+        and out["checksums"] == out["baseline"]
+    )
+    return out
+
+
+def scenario_round_abort(seed: int = 7,
+                         workdir: Optional[str] = None) -> Dict:
+    """An injected coordinator stall aborts checkpoint round 1 on its
+    first attempt; the bounded retry completes it and the job never
+    fails (zero supervised restarts)."""
+    plan = FaultPlan(seed=seed).abort_round(generation=1, attempt=1)
+    tmp = workdir or tempfile.mkdtemp(prefix="repro-faults-")
+    try:
+        cfg = _config(tmp, seed, plan)
+        job = Launcher(cfg).launch(lambda r: SurvivorApp())
+        _arm_triggers(job)
+        res = job.run(60.0)
+        out = {
+            "status": res.status,
+            "restarts": 0,
+            "events": list(job.coordinator.round_events),
+            "checksums": _checksums(res),
+            "baseline": baseline_checksums(seed),
+            "faults_fired": _injector_trace(cfg),
+            "runtime": round(res.runtime, 9),
+        }
+        out["ok"] = (
+            res.status == "completed"
+            and any(e["event"] == "round-abort" and e["retrying"]
+                    for e in out["events"])
+            and out["checksums"] == out["baseline"]
+        )
+        return out
+    finally:
+        if workdir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def scenario_msg_delay(seed: int = 7,
+                       workdir: Optional[str] = None) -> Dict:
+    """A delayed message slows the job in *virtual* time but never
+    corrupts it: checksums still match the baseline."""
+    plan = FaultPlan(seed=seed).delay_message(src=0, dst=1, seconds=5.0,
+                                              nth=3)
+    tmp = workdir or tempfile.mkdtemp(prefix="repro-faults-")
+    try:
+        cfg = _config(tmp, seed, plan)
+        job = Launcher(cfg).launch(lambda r: SurvivorApp())
+        _arm_triggers(job)
+        res = job.run(60.0)
+        out = {
+            "status": res.status,
+            "restarts": 0,
+            "events": [],
+            "checksums": _checksums(res),
+            "baseline": baseline_checksums(seed),
+            "faults_fired": _injector_trace(cfg),
+            "runtime": round(res.runtime, 9),
+        }
+        out["ok"] = (
+            res.status == "completed"
+            and out["checksums"] == out["baseline"]
+            and len(out["faults_fired"]) == 1
+        )
+        return out
+    finally:
+        if workdir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+SCENARIOS: Dict[str, Callable[..., Dict]] = {
+    "crash-restore": scenario_crash_restore,
+    "self-heal": scenario_self_heal,
+    "disk-full": scenario_disk_full,
+    "truncate-fallback": scenario_truncate_fallback,
+    "round-abort": scenario_round_abort,
+    "msg-delay": scenario_msg_delay,
+}
+
+
+def run_scenario(name: str, seed: int = 7) -> Dict:
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; pick from {sorted(SCENARIOS)}"
+        )
+    return SCENARIOS[name](seed=seed)
+
+
+def recovery_fingerprint(out: Dict) -> Dict:
+    """The parts of a scenario outcome that must be bit-identical across
+    two runs with the same plan + seed."""
+    return {
+        "status": out["status"],
+        "restarts": out["restarts"],
+        "events": out["events"],
+        "checksums": out["checksums"],
+        "faults_fired": out["faults_fired"],
+        "runtime": out["runtime"],
+    }
+
+
+def fault_smoke(seed: int = 7) -> Dict:
+    """CI smoke: the acceptance scenario, twice.
+
+    Asserts (a) the job self-heals — restored from the latest valid
+    generation with final checksums equal to a fault-free run — and
+    (b) the recovery trace (events, fired faults, virtual times) is
+    deterministic: bit-identical across both runs.
+    """
+    first = scenario_self_heal(seed=seed)
+    second = scenario_self_heal(seed=seed)
+    deterministic = (
+        recovery_fingerprint(first) == recovery_fingerprint(second)
+    )
+    return {
+        "ok": bool(first["ok"] and second["ok"] and deterministic),
+        "self_heal_ok": bool(first["ok"]),
+        "deterministic": deterministic,
+        "run": first,
+        "rerun": recovery_fingerprint(second),
+    }

@@ -12,20 +12,40 @@ Physical MPI ids are *not* in the image (VidEntry drops them when
 pickled); "MANA does not require a special data structure in the
 checkpoint image to identify these MANA-internal structures" — the
 records are simply part of the saved upper half.
+
+On-disk layout (format 4)::
+
+    MAGIC (8 bytes) | header length (4 bytes, big-endian) | JSON header
+    | pickle payload
+
+The JSON header carries the image identity plus ``payload_bytes`` and a
+``payload_sha256`` over the pickle blob, so :func:`load_image` detects
+truncation and bit rot *before* unpickling.  Writes go to a temp file in
+the generation dir and are atomically renamed into place — an
+interrupted save never leaves a torn image at the final path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.util.errors import CheckpointError, RestartError
+from repro.util.errors import (
+    CheckpointError,
+    InjectedFault,
+    IntegrityError,
+    RestartError,
+)
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
+MAGIC = b"RPCKPTIM"
 MANIFEST_NAME = "manifest.json"
+_LEN = struct.Struct(">I")
 
 
 @dataclass
@@ -58,61 +78,161 @@ def rank_image_path(base_dir: str, generation: int, rank: int) -> str:
     return os.path.join(generation_dir(base_dir, generation), f"rank_{rank:05d}.img")
 
 
-def save_image(path: str, image: CheckpointImage) -> int:
-    """Write one rank's image; returns its size in bytes."""
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    payload = {
+def _encode_image(image: CheckpointImage) -> bytes:
+    """MAGIC + length-prefixed JSON header + checksummed pickle payload."""
+    upper_half = {
+        "app": image.app,
+        "loops": image.loops,
+        "vid_table": image.vid_table,
+        "drain_buffer": image.drain_buffer,
+        "clock_state": image.clock_state,
+        "rng_state": image.rng_state,
+        "cs_count": image.cs_count,
+        "epoch": image.epoch,
+    }
+    try:
+        # One pickle for everything that shares objects:
+        blob = pickle.dumps(upper_half, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # unpicklable app state is a user error
+        raise CheckpointError(
+            f"rank {image.rank}: upper-half state is not serializable "
+            f"({exc}); application state must be plain data + numpy"
+        ) from exc
+    header = {
         "format_version": FORMAT_VERSION,
         "rank": image.rank,
         "nranks": image.nranks,
         "impl": image.impl,
         "kind": image.kind,
         "generation": image.generation,
-        # One pickle for everything that shares objects:
-        "upper_half": {
-            "app": image.app,
-            "loops": image.loops,
-            "vid_table": image.vid_table,
-            "drain_buffer": image.drain_buffer,
-            "clock_state": image.clock_state,
-            "rng_state": image.rng_state,
-            "cs_count": image.cs_count,
-            "epoch": image.epoch,
-        },
+        "payload_bytes": len(blob),
+        "payload_sha256": hashlib.sha256(blob).hexdigest(),
     }
-    try:
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:  # unpicklable app state is a user error
-        raise CheckpointError(
-            f"rank {image.rank}: upper-half state is not serializable "
-            f"({exc}); application state must be plain data + numpy"
-        ) from exc
+    hdr = json.dumps(header, sort_keys=True).encode("utf-8")
+    return MAGIC + _LEN.pack(len(hdr)) + hdr + blob
+
+
+def save_image(path: str, image: CheckpointImage, injector=None,
+               vtime: float = 0.0) -> int:
+    """Write one rank's image; returns its size in bytes.
+
+    Crash-safe: the bytes land in ``<path>.tmp`` and are atomically
+    renamed, so the final path either holds a complete verified image or
+    nothing.  ``injector`` (a :class:`repro.faults.FaultInjector`) may
+    fire a mid-save crash (partial temp file left behind, final path
+    untouched) or a disk-full error (temp file removed, final path
+    untouched) at this site.
+    """
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    data = _encode_image(image)
     tmp = path + ".tmp"
+    if injector is not None:
+        try:
+            injector.crash_point("mid-save", image.rank, image.generation,
+                                 vtime)
+        except InjectedFault:
+            # The writer died partway: a torn temp file, never a torn
+            # image at the final path.
+            with open(tmp, "wb") as f:
+                f.write(data[: max(1, len(data) // 2)])
+            raise
+        if injector.disk_full_hit(image.rank, image.generation):
+            # ENOSPC mid-write: the writer cleans up its partial temp
+            # file and surfaces the error; the final path is untouched.
+            try:
+                with open(tmp, "wb") as f:
+                    f.write(data[: max(1, len(data) // 2)])
+            finally:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+            raise InjectedFault(
+                f"injected disk-full: rank {image.rank} saving "
+                f"generation {image.generation}"
+            )
     with open(tmp, "wb") as f:
-        f.write(blob)
+        f.write(data)
     os.replace(tmp, path)  # atomic: no torn images
-    return len(blob)
+    if injector is not None:
+        # Post-rename bit rot / torn-write simulation on the final file.
+        injector.after_save(path, image.rank, image.generation)
+    return len(data)
+
+
+def _read_header(path: str, data: bytes) -> Dict:
+    """Parse and sanity-check the length-prefixed JSON header."""
+    if len(data) < len(MAGIC) + _LEN.size or not data.startswith(MAGIC):
+        raise RestartError(
+            f"{path}: unrecognized image header (bad magic); expected "
+            f"format {FORMAT_VERSION}"
+        )
+    (hdr_len,) = _LEN.unpack_from(data, len(MAGIC))
+    start = len(MAGIC) + _LEN.size
+    if len(data) < start + hdr_len:
+        raise IntegrityError(f"{path}: truncated image header")
+    try:
+        header = json.loads(data[start:start + hdr_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IntegrityError(f"{path}: corrupt image header ({exc})") from None
+    if header.get("format_version") != FORMAT_VERSION:
+        raise RestartError(
+            f"{path}: image format {header.get('format_version')} "
+            f"!= expected {FORMAT_VERSION}"
+        )
+    return header
+
+
+def _verify_bytes(path: str, data: bytes) -> Dict:
+    """Header + payload integrity check; returns the header."""
+    header = _read_header(path, data)
+    (hdr_len,) = _LEN.unpack_from(data, len(MAGIC))
+    start = len(MAGIC) + _LEN.size + hdr_len
+    payload = data[start:]
+    if len(payload) != header["payload_bytes"]:
+        raise IntegrityError(
+            f"{path}: truncated image: payload is {len(payload)} bytes, "
+            f"header promises {header['payload_bytes']}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise IntegrityError(
+            f"{path}: image checksum mismatch (bit rot or torn write): "
+            f"sha256 {digest[:12]}… != recorded "
+            f"{header['payload_sha256'][:12]}…"
+        )
+    return header
+
+
+def verify_image(path: str) -> Dict:
+    """Integrity-check one image without unpickling its payload.
+
+    Returns the parsed header; raises :class:`IntegrityError` on
+    truncation or checksum mismatch, :class:`RestartError` when the file
+    is missing or not a recognized image format.
+    """
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except FileNotFoundError:
+        raise RestartError(f"no checkpoint image at {path}") from None
+    return _verify_bytes(path, data)
 
 
 def load_image(path: str) -> CheckpointImage:
+    """Load one rank's image, verifying its checksum first."""
     try:
-        stored_bytes = os.path.getsize(path)
         with open(path, "rb") as f:
-            payload = pickle.load(f)
+            data = f.read()
     except FileNotFoundError:
         raise RestartError(f"no checkpoint image at {path}") from None
-    if payload.get("format_version") != FORMAT_VERSION:
-        raise RestartError(
-            f"{path}: image format {payload.get('format_version')} "
-            f"!= expected {FORMAT_VERSION}"
-        )
-    uh = payload["upper_half"]
+    header = _verify_bytes(path, data)
+    (hdr_len,) = _LEN.unpack_from(data, len(MAGIC))
+    uh = pickle.loads(data[len(MAGIC) + _LEN.size + hdr_len:])
     return CheckpointImage(
-        rank=payload["rank"],
-        nranks=payload["nranks"],
-        impl=payload["impl"],
-        kind=payload["kind"],
-        generation=payload["generation"],
+        rank=header["rank"],
+        nranks=header["nranks"],
+        impl=header["impl"],
+        kind=header["kind"],
+        generation=header["generation"],
         app=uh["app"],
         loops=uh["loops"],
         vid_table=uh["vid_table"],
@@ -121,7 +241,7 @@ def load_image(path: str) -> CheckpointImage:
         rng_state=uh["rng_state"],
         cs_count=uh["cs_count"],
         epoch=uh["epoch"],
-        stored_bytes=stored_bytes,
+        stored_bytes=len(data),
     )
 
 
@@ -136,7 +256,12 @@ def write_manifest(
     loop_target: Optional[int],
     extra: Optional[Dict] = None,
 ) -> str:
-    """Job-level manifest, written once (by rank 0) per generation."""
+    """Job-level manifest, written once (by rank 0) per generation.
+
+    Atomic like the images: a generation with a manifest at its final
+    path is by construction complete (the manifest is written last,
+    after every rank's image passed the saved barrier).
+    """
     d = generation_dir(base_dir, generation)
     os.makedirs(d, exist_ok=True)
     path = os.path.join(d, MANIFEST_NAME)
@@ -150,8 +275,10 @@ def write_manifest(
         "loop_target": loop_target,
         "extra": extra or {},
     }
-    with open(path, "w") as f:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
         json.dump(doc, f, indent=2)
+    os.replace(tmp, path)
     return path
 
 
@@ -182,3 +309,55 @@ def latest_generations(base_dir: str) -> List[int]:
             except ValueError:
                 continue
     return sorted(gens)
+
+
+def validate_generation(base_dir: str, generation: int,
+                        require_cold: bool = True) -> List[str]:
+    """Why generation ``generation`` cannot be restored (empty = it can).
+
+    Checks manifest presence, cold-restartability, completeness (an
+    image for every rank), and per-image integrity (magic, length,
+    checksum).  Returns human-readable problem strings.
+    """
+    problems: List[str] = []
+    try:
+        manifest = read_manifest(base_dir, generation)
+    except RestartError as exc:
+        return [str(exc)]
+    if require_cold and not manifest.get("cold_restartable"):
+        problems.append(
+            f"generation {generation} is not cold-restartable "
+            f"(kind={manifest.get('kind')!r})"
+        )
+    for rank in range(manifest.get("nranks", 0)):
+        path = rank_image_path(base_dir, generation, rank)
+        if not os.path.exists(path):
+            problems.append(f"no checkpoint image for rank {rank}")
+            continue
+        try:
+            header = verify_image(path)
+        except (IntegrityError, RestartError) as exc:
+            problems.append(f"rank {rank}: {exc}")
+            continue
+        if header["generation"] != generation or header["rank"] != rank:
+            problems.append(
+                f"rank {rank}: image identity mismatch "
+                f"(header says rank {header['rank']} "
+                f"generation {header['generation']})"
+            )
+    return problems
+
+
+def restorable_generations(base_dir: str) -> List[int]:
+    """Generations that pass :func:`validate_generation`, ascending."""
+    return [
+        g for g in latest_generations(base_dir)
+        if not validate_generation(base_dir, g)
+    ]
+
+
+def latest_restorable_generation(base_dir: str) -> Optional[int]:
+    """Newest complete, integrity-verified, cold-restartable generation
+    (None when no generation qualifies)."""
+    gens = restorable_generations(base_dir)
+    return gens[-1] if gens else None

@@ -2,9 +2,10 @@
 
 Real MANA inherits a coordinator process from DMTCP: a socket-connected
 daemon that broadcasts checkpoint requests and sequences the global
-phases.  Here the coordinator is a shared object with reusable barriers;
-it carries *no application or MPI data* — everything payload-bearing
-flows through the lower-half MPI library, as in the real system.
+phases.  Here the coordinator is a shared object with reusable phase
+gates; it carries *no application or MPI data* — everything
+payload-bearing flows through the lower-half MPI library, as in the
+real system.
 
 Two checkpoint kinds (DESIGN.md §1, restart modes):
 
@@ -22,16 +23,28 @@ wrappers (two-phase collectives): ranks register arrival at
 remaining responsive to checkpoint intent while they wait.  Arrival is
 idempotent, so a rank that detours into a checkpoint and comes back
 re-enters safely.
+
+Hardening (PROTOCOLS.md §9): the four phase rendezvous are custom
+condition-variable gates rather than ``threading.Barrier`` so that (a)
+waits use bounded exponential-backoff slices under a configurable
+``phase_timeout``, (b) a timeout produces a *descriptive* error naming
+the stuck phase and the outstanding ranks instead of a broken-barrier
+trace, and (c) a round can be **aborted and retried**: when a stall is
+detected (or injected), :meth:`abort_round` releases every parked rank
+with :class:`CheckpointRoundAborted`, bumps the round attempt, and —
+while ``round_retries`` remain — leaves the same ticket armed so the
+ranks immediately re-run the round.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.simtime.cost import FilesystemProfile, checkpoint_time
-from repro.util.errors import CheckpointError
+from repro.util.errors import CheckpointError, CheckpointRoundAborted
 
 
 class CheckpointKind:
@@ -57,13 +70,101 @@ class CheckpointTicket:
     _done: threading.Event = field(default_factory=threading.Event)
     result: Dict = field(default_factory=dict)
     error: Optional[BaseException] = None
+    # Backref for diagnostics only (phase snapshot on timeout).
+    _coord: Optional[object] = field(default=None, repr=False, compare=False)
 
     def wait(self, timeout: float = 300.0) -> Dict:
         if not self._done.wait(timeout):
-            raise CheckpointError("checkpoint did not complete in time")
+            detail = ""
+            if self._coord is not None:
+                detail = "; " + self._coord.phase_snapshot()
+            raise CheckpointError(
+                f"checkpoint generation {self.generation} did not complete "
+                f"in time (waited {timeout:.0f}s){detail}"
+            )
         if self.error is not None:
             raise self.error
         return self.result
+
+
+class _PhaseGate:
+    """A reusable all-ranks rendezvous with diagnostics.
+
+    Unlike ``threading.Barrier``, a gate (a) tracks *which* ranks have
+    arrived, so a timeout names the stragglers; (b) waits in
+    exponential-backoff slices (50 ms doubling to 2 s) under the overall
+    timeout, so released waiters wake promptly without spinning; and
+    (c) can be :meth:`release`-d — waiters return without the gate
+    action running, and the caller's attempt check converts that into a
+    :class:`CheckpointRoundAborted` retry.  :meth:`break_` is terminal:
+    every current and future waiter raises the abort exception.
+
+    Lock ordering: the gate CV may be held while the last arriver's
+    ``action`` takes the coordinator lock (gate → coordinator).  Abort
+    paths therefore touch gates only *after* dropping the coordinator
+    lock.
+    """
+
+    def __init__(self, name: str, parties: int,
+                 action: Optional[Callable[[], None]] = None):
+        self.name = name
+        self.parties = parties
+        self.action = action
+        self._cv = threading.Condition()
+        self._arrived: Set[int] = set()
+        self._cycle = 0
+        self._broken: Optional[BaseException] = None
+
+    def arrived_ranks(self) -> List[int]:
+        with self._cv:
+            return sorted(self._arrived)
+
+    def wait(self, rank: int, timeout: float = 300.0) -> None:
+        with self._cv:
+            if self._broken is not None:
+                raise self._broken
+            cycle = self._cycle
+            self._arrived.add(rank)
+            if len(self._arrived) >= self.parties:
+                # Last arriver: run the gate action, open the gate.
+                if self.action is not None:
+                    self.action()
+                self._arrived.clear()
+                self._cycle += 1
+                self._cv.notify_all()
+                return
+            deadline = time.monotonic() + timeout
+            backoff = 0.05
+            while self._cycle == cycle:
+                if self._broken is not None:
+                    raise self._broken
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    outstanding = sorted(
+                        set(range(self.parties)) - self._arrived
+                    )
+                    raise CheckpointError(
+                        f"checkpoint phase {self.name!r} timed out after "
+                        f"{timeout:.0f}s: arrived ranks "
+                        f"{sorted(self._arrived)}, outstanding ranks "
+                        f"{outstanding}"
+                    )
+                self._cv.wait(timeout=min(backoff, remaining))
+                backoff = min(backoff * 2, 2.0)
+
+    def release(self) -> None:
+        """Open the gate without running the action (round abort): every
+        waiter returns and re-checks its round attempt."""
+        with self._cv:
+            self._arrived.clear()
+            self._cycle += 1
+            self._cv.notify_all()
+
+    def break_(self, exc: BaseException) -> None:
+        """Terminal abort: current and future waiters raise ``exc``."""
+        with self._cv:
+            self._broken = exc
+            self._cv.notify_all()
 
 
 class CheckpointCoordinator:
@@ -75,16 +176,23 @@ class CheckpointCoordinator:
         ckpt_dir: str,
         fs_profile: FilesystemProfile,
         loop_lag_window: int = 4,
+        phase_timeout: float = 300.0,
+        round_retries: int = 2,
     ):
         self.nranks = nranks
         self.ckpt_dir = ckpt_dir
         self.fs_profile = fs_profile
         self.loop_lag_window = loop_lag_window
+        self.phase_timeout = phase_timeout
+        self.round_retries = round_retries
         self.generation = 0
 
         self._lock = threading.Lock()
         self._intent: Optional[CheckpointTicket] = None
         self._aborted: Optional[BaseException] = None
+        # Optional fault injector (repro.faults.FaultInjector); consulted
+        # at round start for injected coordinator stalls.
+        self.injector = None
         # Optional callable invoked whenever checkpoint intent is armed:
         # the runtime wires it to Fabric.wake so ranks blocked in an
         # event-driven wait notice the intent immediately instead of
@@ -93,13 +201,25 @@ class CheckpointCoordinator:
         # Wakes finalize_rank waiters (shares self._lock).
         self._fin_cv = threading.Condition(self._lock)
 
-        # Phase barriers (reusable).  quiesce -> drained -> saved -> resumed.
-        self._bar_quiesce = threading.Barrier(nranks, action=self._on_quiesced)
-        self._bar_drained = threading.Barrier(nranks)
-        self._bar_saved = threading.Barrier(nranks, action=self._on_saved)
-        self._bar_resumed = threading.Barrier(nranks, action=self._on_resumed)
+        # Phase gates (reusable).  quiesce -> drained -> saved -> resumed.
+        self._g_quiesce = _PhaseGate("quiesce", nranks, self._on_quiesced)
+        self._g_drained = _PhaseGate("drain", nranks)
+        self._g_saved = _PhaseGate("save", nranks, self._on_saved)
+        self._g_resumed = _PhaseGate("resume", nranks, self._on_resumed)
+        self._gates = (
+            self._g_quiesce, self._g_drained, self._g_saved, self._g_resumed,
+        )
+        # Coarse phase label for diagnostics (phase_snapshot).
+        self._phase = "idle"
 
-        # Per-checkpoint scratch (filled by ranks, read by barrier actions).
+        # Round abort/retry state: the attempt counter increments on
+        # every abort_round; ranks capture it at begin_participation and
+        # every phase call re-checks it.
+        self._round_attempt = 0
+        self._retries_left = round_retries
+        self.round_events: List[dict] = []
+
+        # Per-checkpoint scratch (filled by ranks, read by gate actions).
         self._rank_clocks: Dict[int, float] = {}
         self._rank_bytes: Dict[int, int] = {}
         self._ckpt_start_time = 0.0
@@ -155,20 +275,29 @@ class CheckpointCoordinator:
                     "ticket before requesting another"
                 )
             self.generation += 1
-            ticket = CheckpointTicket(self.generation, kind, mode)
-            self._loop_target = None
-            self._loop_name = None
-            self._rank_clocks.clear()
-            self._rank_bytes.clear()
-            self._intent = ticket
+            ticket = CheckpointTicket(self.generation, kind, mode,
+                                      _coord=self)
+            self._arm_round_locked(ticket)
         self._notify_intent()
         return ticket
 
+    def _arm_round_locked(self, ticket: CheckpointTicket) -> None:
+        """Install ``ticket`` as the active intent and reset per-round
+        scratch.  Caller holds self._lock."""
+        self._loop_target = None
+        self._loop_name = None
+        self._rank_clocks.clear()
+        self._rank_bytes.clear()
+        self._round_attempt = 0
+        self._retries_left = self.round_retries
+        self._intent = ticket
+
     def _notify_intent(self) -> None:
-        """Intent was just armed: wake every event-driven waiter (fabric
-        waits via the waker hook, trivial-barrier and finalize waiters
-        via their condition variables).  Called WITHOUT self._lock held —
-        the waker takes the fabric's lock."""
+        """Intent was just armed (or a round aborted): wake every
+        event-driven waiter (fabric waits via the waker hook,
+        trivial-barrier and finalize waiters via their condition
+        variables).  Called WITHOUT self._lock held — the waker takes
+        the fabric's lock."""
         waker = self.waker
         if waker is not None:
             waker()
@@ -190,7 +319,8 @@ class CheckpointCoordinator:
         with self._lock:
             self._raise_if_aborted()
             self.generation += 1
-            ticket = CheckpointTicket(self.generation, kind, mode)
+            ticket = CheckpointTicket(self.generation, kind, mode,
+                                      _coord=self)
             self._pending_triggers.append(
                 {"loop": loop_name, "iteration": iteration, "ticket": ticket}
             )
@@ -221,11 +351,16 @@ class CheckpointCoordinator:
             for trig in self._pending_triggers:
                 if trig["loop"] == loop_name and iteration >= trig["iteration"]:
                     self._pending_triggers.remove(trig)
-                    self._loop_target = None
-                    self._loop_name = None
-                    self._rank_clocks.clear()
-                    self._rank_bytes.clear()
-                    self._intent = trig["ticket"]
+                    self._arm_round_locked(trig["ticket"])
+                    if trig["ticket"].kind == CheckpointKind.LOOP:
+                        # Deterministic election: the park target derives
+                        # from the trigger's iteration, not from whichever
+                        # rank happens to poll first after arming.
+                        self._loop_target = (
+                            max(iteration, trig["iteration"])
+                            + self.loop_lag_window
+                        )
+                        self._loop_name = loop_name
                     armed = True
                     break
             if (
@@ -237,14 +372,11 @@ class CheckpointCoordinator:
                 self._last_ckpt_vtime = vtime
                 self.generation += 1
                 ticket = CheckpointTicket(
-                    self.generation, CheckpointKind.LOOP, self._interval_mode
+                    self.generation, CheckpointKind.LOOP,
+                    self._interval_mode, _coord=self,
                 )
                 self.interval_tickets.append(ticket)
-                self._loop_target = None
-                self._loop_name = None
-                self._rank_clocks.clear()
-                self._rank_bytes.clear()
-                self._intent = ticket
+                self._arm_round_locked(ticket)
                 armed = True
         if armed:
             self._notify_intent()
@@ -351,28 +483,145 @@ class CheckpointCoordinator:
             t._done.set()
 
     # ------------------------------------------------------------------
-    # phase barriers (called from ManaRank.checkpoint_participate)
+    # round lifecycle (called from ManaRank.checkpoint_participate)
     # ------------------------------------------------------------------
-    def quiesce(self, rank: int, clock_now: float) -> None:
+    def begin_participation(self, rank: int) -> int:
+        """A rank is entering the checkpoint round: returns the round
+        attempt it must carry through every phase call.  May raise
+        :class:`CheckpointRoundAborted` when an injected coordinator
+        stall aborts the round at its start."""
         with self._lock:
+            self._raise_if_aborted()
+            t = self._intent
+            if t is None:
+                raise CheckpointRoundAborted(
+                    "checkpoint intent disarmed before the round started"
+                )
+            attempt = self._round_attempt
+            generation = t.generation
+        if self.injector is not None and self.injector.round_abort_requested(
+            generation, attempt + 1
+        ):
+            self.abort_round(
+                f"injected coordinator stall on attempt {attempt + 1}"
+            )
+            raise CheckpointRoundAborted(
+                f"checkpoint round {generation} attempt {attempt + 1} "
+                f"aborted: injected coordinator stall"
+            )
+        return attempt
+
+    def abort_round(self, reason: str) -> None:
+        """Abort the in-flight checkpoint round: every rank parked at a
+        phase gate is released and re-checks its attempt (raising
+        :class:`CheckpointRoundAborted`).  While retries remain the same
+        ticket stays armed, so ranks re-run the round immediately;
+        otherwise the ticket fails with a descriptive error."""
+        with self._lock:
+            if self._aborted is not None:
+                return
+            t = self._intent
+            if t is None:
+                return
+            self._round_attempt += 1
+            retrying = self._retries_left > 0
+            self.round_events.append({
+                "event": "round-abort",
+                "generation": t.generation,
+                "attempt": self._round_attempt,
+                "reason": reason,
+                "retrying": retrying,
+            })
+            self._rank_clocks.clear()
+            self._rank_bytes.clear()
+            self._phase = "idle"
+            if retrying:
+                self._retries_left -= 1
+            else:
+                self._intent = None
+                self._loop_target = None
+                self._loop_name = None
+                if t.error is None:
+                    t.error = CheckpointError(
+                        f"checkpoint generation {t.generation} failed "
+                        f"after {self._round_attempt} aborted attempt(s): "
+                        f"{reason}"
+                    )
+                t._done.set()
+        # Outside the coordinator lock (gate CVs may take it in actions).
+        for g in self._gates:
+            g.release()
+        self._notify_intent()
+
+    def _check_attempt(self, attempt: int) -> None:
+        """Raise when the round was aborted since this rank captured
+        ``attempt`` (before or while it waited at a gate)."""
+        with self._lock:
+            self._raise_if_aborted()
+            if attempt != self._round_attempt:
+                raise CheckpointRoundAborted(
+                    f"checkpoint round aborted (attempt {attempt + 1} "
+                    f"superseded by {self._round_attempt + 1})"
+                )
+
+    # ------------------------------------------------------------------
+    # phase gates (called from ManaRank.checkpoint_participate)
+    # ------------------------------------------------------------------
+    def quiesce(self, rank: int, clock_now: float, attempt: int = 0) -> None:
+        # Pre-wait check: a rank whose round was already aborted must not
+        # enqueue at the gate (it would open with mixed attempts).
+        self._check_attempt(attempt)
+        with self._lock:
+            self._raise_if_aborted()
             self._rank_clocks[rank] = clock_now
-        self._wait(self._bar_quiesce)
+            self._phase = "quiesce"
+        self._g_quiesce.wait(rank, timeout=self.phase_timeout)
+        self._check_attempt(attempt)
 
-    def drained(self) -> None:
-        self._wait(self._bar_drained)
+    def drained(self, rank: int = 0, attempt: int = 0) -> None:
+        self._check_attempt(attempt)
+        self._phase = "drain"
+        self._g_drained.wait(rank, timeout=self.phase_timeout)
+        self._check_attempt(attempt)
 
-    def saved(self, rank: int, image_bytes: int) -> None:
+    def saved(self, rank: int, image_bytes: int, attempt: int = 0) -> None:
+        self._check_attempt(attempt)
         with self._lock:
+            self._raise_if_aborted()
             self._rank_bytes[rank] = image_bytes
-        self._wait(self._bar_saved)
+            self._phase = "save"
+        self._g_saved.wait(rank, timeout=self.phase_timeout)
+        self._check_attempt(attempt)
 
-    def resumed(self) -> None:
-        self._wait(self._bar_resumed)
+    def resumed(self, rank: int = 0, attempt: int = 0) -> None:
+        self._phase = "resume"
+        self._g_resumed.wait(rank, timeout=self.phase_timeout)
+        # No attempt check: the round is complete once the resume gate
+        # opens (_on_resumed already cleared the intent).
 
     def checkpoint_timing(self) -> Tuple[float, float]:
         """(global start time, duration) of the checkpoint in progress —
         valid after the saved barrier."""
         return self._ckpt_start_time, self._ckpt_duration
+
+    def phase_snapshot(self) -> str:
+        """One-line description of where the checkpoint round stands —
+        used by timeout errors to name the stuck phase and ranks."""
+        phase = self._phase
+        gate = {
+            "quiesce": self._g_quiesce,
+            "drain": self._g_drained,
+            "save": self._g_saved,
+            "resume": self._g_resumed,
+        }.get(phase)
+        if gate is None:
+            return f"coordinator phase {phase!r}"
+        arrived = gate.arrived_ranks()
+        outstanding = sorted(set(range(self.nranks)) - set(arrived))
+        return (
+            f"coordinator phase {phase!r}: arrived ranks {arrived}, "
+            f"outstanding ranks {outstanding}"
+        )
 
     def _on_quiesced(self) -> None:
         self._ckpt_start_time = max(self._rank_clocks.values())
@@ -406,18 +655,9 @@ class CheckpointCoordinator:
         with self._lock:
             t = self._intent
             self._intent = None
+            self._phase = "idle"
         if t is not None:
             t._done.set()
-
-    def _wait(self, barrier: threading.Barrier) -> None:
-        self._raise_if_aborted()
-        try:
-            barrier.wait(timeout=300.0)
-        except threading.BrokenBarrierError:
-            self._raise_if_aborted()
-            raise CheckpointError(
-                "checkpoint phase barrier broken (a rank died?)"
-            ) from None
 
     # ------------------------------------------------------------------
     # trivial-barrier service for two-phase collectives
@@ -509,13 +749,16 @@ class CheckpointCoordinator:
                     t.error = self._aborted
                 t._done.set()
             self._fin_cv.notify_all()  # shares self._lock
-        for b in (
-            self._bar_quiesce, self._bar_drained,
-            self._bar_saved, self._bar_resumed,
-        ):
-            b.abort()
+        # Outside the coordinator lock (gate CVs may take it in actions).
+        for g in self._gates:
+            g.break_(self._aborted)
         with self._tb_cv:
             self._tb_cv.notify_all()
+        # Wake fabric waiters too: ranks blocked in event-driven waits
+        # must notice the abort now, not at their safety-net timeout.
+        waker = self.waker
+        if waker is not None:
+            waker()
 
     def _raise_if_aborted(self) -> None:
         if self._aborted is not None:

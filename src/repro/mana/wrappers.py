@@ -62,6 +62,7 @@ from repro.mpi.objects import CartInfo, Status
 from repro.simtime.clock import VirtualClock
 from repro.simtime.cost import CostModel
 from repro.util.errors import (
+    CheckpointRoundAborted,
     InvalidHandleError,
     JobPreempted,
     MpiError,
@@ -88,6 +89,7 @@ class ManaRank:
         seed: int = 0,
         ckpt_dir: str = "/tmp/mana-ckpt",
         epoch: int = 0,
+        injector=None,
     ):
         self.fabric = fabric
         self.rank = rank
@@ -99,6 +101,8 @@ class ManaRank:
         self.seed = seed
         self.ckpt_dir = ckpt_dir
         self.epoch = epoch
+        # Optional repro.faults.FaultInjector; None on the hot path.
+        self.injector = injector
 
         self.lower: Optional[BaseMpiLib] = None
         handle_bits = 32  # set for real at bootstrap
@@ -182,6 +186,9 @@ class ManaRank:
     def _enter(self) -> None:
         """Top of every wrapper: safe point + one crossing."""
         self.wrapped_calls += 1
+        if self.injector is not None:
+            self.injector.on_mpi_call(self.rank, self.wrapped_calls,
+                                      self.clock.now)
         self._maybe_checkpoint()
         self._cross()
 
@@ -1485,23 +1492,52 @@ class ManaRank:
     # ------------------------------------------------------------------
     def checkpoint_participate(self) -> None:
         """Run this rank's part of a checkpoint.  Called from any safe
-        point; returns when the job resumes (or raises JobPreempted)."""
-        coord = self.coordinator
-        ticket = coord.intent
-        if ticket is None:
-            return
-        self._active_ticket = ticket
+        point; returns when the job resumes (or raises JobPreempted).
 
-        coord.quiesce(self.rank, self.clock.now)
+        An aborted round (injected coordinator stall, or a failure
+        detected mid-round) surfaces as :class:`CheckpointRoundAborted`
+        out of the phase calls; while the coordinator keeps the same
+        ticket armed — it bounds retries — this rank simply re-enters
+        the round."""
+        coord = self.coordinator
+        while True:
+            ticket = coord.intent
+            if ticket is None:
+                return
+            try:
+                self._participate_once(ticket)
+                return
+            except CheckpointRoundAborted:
+                self._active_ticket = None
+                # Re-read the intent: the coordinator either re-armed the
+                # same ticket (retry the round) or failed it (return to
+                # the application).
+                continue
+
+    def _participate_once(self, ticket) -> None:
+        """One attempt at the quiesce → drain → save → resume round."""
+        coord = self.coordinator
+        self._active_ticket = ticket
+        attempt = coord.begin_participation(self.rank)
+
+        coord.quiesce(self.rank, self.clock.now, attempt)
+        if self.injector is not None:
+            self.injector.crash_point(
+                "pre-drain", self.rank, ticket.generation, self.clock.now
+            )
         # From here until resume, every lower-half call is MANA-internal
         # (the app is parked); record the delta to audit the paper's
         # Section 5 required-subset claim.
         calls_before = dict(self.lower.call_counts)
         run_drain(self)
-        coord.drained()
+        if self.injector is not None:
+            self.injector.crash_point(
+                "post-drain", self.rank, ticket.generation, self.clock.now
+            )
+        coord.drained(self.rank, attempt)
 
         nbytes = self._write_image(ticket)
-        coord.saved(self.rank, nbytes)
+        coord.saved(self.rank, nbytes, attempt)
 
         # Charge the checkpoint's cost to virtual time (Table 3 model).
         start, duration = coord.checkpoint_timing()
@@ -1531,7 +1567,7 @@ class ManaRank:
                 if n > calls_before.get(name, 0)
             }
 
-        coord.resumed()
+        coord.resumed(self.rank, attempt)
         self._active_ticket = None
 
         if ticket.mode == CheckpointMode.EXIT:
@@ -1555,7 +1591,8 @@ class ManaRank:
             epoch=self.epoch,
         )
         path = ckpt.rank_image_path(self.ckpt_dir, ticket.generation, self.rank)
-        nbytes = ckpt.save_image(path, image)
+        nbytes = ckpt.save_image(path, image, injector=self.injector,
+                                 vtime=self.clock.now)
         # Proxy applications hold a scaled-down working set; they declare
         # the full-size resident bytes the real application would have
         # checkpointed (Table 3 image sizes).  Accounting — not storage.

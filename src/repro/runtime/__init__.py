@@ -13,7 +13,13 @@
 
 from repro.runtime.app import MpiApplication
 from repro.runtime.context import RankContext
-from repro.runtime.launcher import Job, JobConfig, JobResult, Launcher
+from repro.runtime.launcher import (
+    Job,
+    JobConfig,
+    JobResult,
+    Launcher,
+    RestartPolicy,
+)
 from repro.runtime.platforms import cost_model_for
 
 __all__ = [
@@ -23,5 +29,6 @@ __all__ = [
     "JobConfig",
     "JobResult",
     "Launcher",
+    "RestartPolicy",
     "cost_model_for",
 ]

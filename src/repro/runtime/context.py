@@ -27,6 +27,7 @@ class RankContext:
         cost_model: CostModel,
         mana=None,
         restarting: bool = False,
+        injector=None,
     ):
         self.rank = rank
         self.nranks = nranks
@@ -35,6 +36,8 @@ class RankContext:
         self.cost_model = cost_model
         self.mana = mana
         self.restarting = restarting
+        # Optional repro.faults.FaultInjector; None on the hot path.
+        self.injector = injector
         self._loops: Dict[str, int] = {}
         self._noise_std = 0.0
 
@@ -88,6 +91,8 @@ class RankContext:
         while i < n:
             self._loops[name] = i
             self._checkpoint_poll(name, i)
+            if self.injector is not None:
+                self.injector.on_loop(self.rank, name, i, self.clock.now)
             yield i
             i += 1
             self._loops[name] = i

@@ -30,9 +30,12 @@ from repro.impls.facade import NativeFacade
 from repro.mana.checkpoint import (
     CheckpointImage,
     latest_generations,
+    latest_restorable_generation,
     load_image,
     read_manifest,
     rank_image_path,
+    restorable_generations,
+    validate_generation,
 )
 from repro.mana.coordinator import CheckpointCoordinator, CheckpointTicket
 from repro.mana.wrappers import ManaFacade, ManaRank
@@ -58,11 +61,28 @@ class JobConfig:
     ckpt_interval: Optional[float] = None  # periodic ckpt, virtual seconds
     epoch: int = 0                   # bumped by restarts
     deadline: float = 300.0          # real-time safety net
+    # Fault injection: a repro.faults.FaultPlan (or the FaultInjector the
+    # Job wrapped it into — shared across supervised restarts so fired
+    # one-shot faults never re-fire).  None keeps every hook off the
+    # hot path.
+    faults: Optional[object] = None
+    # Coordinator hardening knobs (None/default = coordinator defaults).
+    ckpt_phase_timeout: Optional[float] = None
+    ckpt_round_retries: int = 2
 
     def resolved_ckpt_dir(self) -> str:
         if self.ckpt_dir is None:
             self.ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
         return self.ckpt_dir
+
+
+@dataclass
+class RestartPolicy:
+    """Supervised-restart policy for :meth:`Launcher.supervise`: on a
+    rank failure, restore the latest restorable generation and resume,
+    at most ``max_restarts`` times."""
+
+    max_restarts: int = 2
 
 
 @dataclass
@@ -84,6 +104,11 @@ class JobResult:
     status: str                      # "completed" | "preempted" | "failed"
     ranks: List[RankOutcome]
     config: JobConfig
+    # Filled by Launcher.supervise: the recovery story of this job
+    # (rank-failure / restart / recovered events) and how many
+    # supervised restarts it took.
+    recovery_events: List[dict] = field(default_factory=list)
+    restarts: int = 0
 
     @property
     def runtime(self) -> float:
@@ -125,6 +150,17 @@ class Job:
         self.images = images
         cm0 = cost_model_for(config.platform, config.impl)
         self.fabric = Fabric(config.nranks, cm0)
+        # Fault injection: wrap a FaultPlan into its runtime injector
+        # once, and write it back to the config so supervised restarts
+        # (which reuse the config's faults) share the fired-spec set.
+        self.injector = None
+        if config.faults is not None:
+            from repro.faults import FaultInjector, FaultPlan
+
+            if isinstance(config.faults, FaultPlan):
+                config.faults = FaultInjector(config.faults)
+            self.injector = config.faults
+            self.fabric.injector = self.injector
         self.coordinator: Optional[CheckpointCoordinator] = None
         if config.mana:
             self.coordinator = CheckpointCoordinator(
@@ -132,7 +168,13 @@ class Job:
                 config.resolved_ckpt_dir(),
                 cm0.filesystem,
                 loop_lag_window=config.loop_lag_window,
+                phase_timeout=(
+                    config.ckpt_phase_timeout
+                    if config.ckpt_phase_timeout is not None else 300.0
+                ),
+                round_retries=config.ckpt_round_retries,
             )
+            self.coordinator.injector = self.injector
             if config.ckpt_interval is not None:
                 self.coordinator.enable_interval_checkpoints(
                     config.ckpt_interval
@@ -224,6 +266,7 @@ class Job:
                     seed=cfg.seed,
                     ckpt_dir=cfg.resolved_ckpt_dir(),
                     epoch=cfg.epoch,
+                    injector=self.injector,
                 )
                 self.manas[rank] = mana
                 mana.bootstrap()
@@ -239,6 +282,7 @@ class Job:
             ctx = RankContext(
                 rank, cfg.nranks, MPI, clock, cost_model,
                 mana=mana, restarting=image is not None,
+                injector=self.injector,
             )
             ctx.noise_seed = cfg.seed
 
@@ -300,8 +344,10 @@ class Job:
 class Launcher:
     """Builds jobs; the SBATCH of this simulation."""
 
-    def __init__(self, config: JobConfig):
+    def __init__(self, config: JobConfig,
+                 restart_policy: Optional[RestartPolicy] = None):
         self.config = config
+        self.restart_policy = restart_policy
 
     def launch(self, app_factory: Callable[[int], object]) -> Job:
         return Job(self.config, app_factory=app_factory)
@@ -309,6 +355,91 @@ class Launcher:
     def run(self, app_factory: Callable[[int], object],
             timeout: Optional[float] = None) -> JobResult:
         return self.launch(app_factory).run(timeout)
+
+    # ------------------------------------------------------------------
+    # supervised (self-healing) execution
+    # ------------------------------------------------------------------
+    def supervise(self, app_factory: Callable[[int], object],
+                  timeout: Optional[float] = None,
+                  on_launch: Optional[Callable[[Job], None]] = None,
+                  ) -> JobResult:
+        """Run under supervision: when the job fails (rank crash, torn
+        image, deadline), restore the latest restorable checkpoint
+        generation and resume, up to ``restart_policy.max_restarts``
+        times.  The returned :class:`JobResult` carries the recovery
+        events (rank-failure / restart / recovered) and restart count.
+
+        ``on_launch`` is invoked with the *initial* job before it starts
+        (e.g. to arm deterministic ``checkpoint_at_iteration`` triggers);
+        restarted jobs resume from images and are not re-armed.
+        """
+        policy = self.restart_policy or RestartPolicy()
+        events: List[dict] = []
+        restarts = 0
+        job = self.launch(app_factory)
+        if on_launch is not None:
+            on_launch(job)
+        res = job.run(timeout)
+        while res.status == "failed":
+            events.append(self._failure_event(res))
+            ckpt_dir = self.config.resolved_ckpt_dir()
+            gen = latest_restorable_generation(ckpt_dir)
+            if gen is None:
+                events.append({
+                    "event": "no-restorable-generation",
+                    "ckpt_dir": ckpt_dir,
+                })
+                break
+            if restarts >= policy.max_restarts:
+                events.append({
+                    "event": "restart-budget-exhausted",
+                    "max_restarts": policy.max_restarts,
+                })
+                break
+            restarts += 1
+            events.append({
+                "event": "restart",
+                "attempt": restarts,
+                "generation": gen,
+            })
+            res = self.restart(ckpt_dir, gen).run(timeout)
+            if res.status in ("completed", "preempted"):
+                events.append({
+                    "event": "recovered",
+                    "attempt": restarts,
+                    "vtime": res.runtime,
+                })
+        res.recovery_events = events
+        res.restarts = restarts
+        return res
+
+    @staticmethod
+    def _failure_event(res: JobResult) -> dict:
+        """Summarize a failed run into one deterministic event.
+
+        The victim is the rank whose traceback names an InjectedFault
+        (its virtual clock at the crash is seed-deterministic); other
+        ranks observe the abort at scheduling-dependent times, so their
+        clocks must not leak into the recovery trace.
+        """
+        victim = None
+        for r in res.ranks:
+            if r.error and "InjectedFault" in r.error:
+                victim = r
+                break
+        if victim is None:
+            victim = next((r for r in res.ranks if r.error), None)
+        if victim is None:
+            return {"event": "rank-failure", "rank": None, "vtime": 0.0,
+                    "error": "job failed with no rank error recorded"}
+        lines = [ln for ln in victim.error.strip().splitlines()
+                 if ln.strip()]
+        return {
+            "event": "rank-failure",
+            "rank": victim.rank,
+            "vtime": victim.runtime,
+            "error": lines[-1] if lines else "unknown",
+        }
 
     # ------------------------------------------------------------------
     def restart(
@@ -319,10 +450,30 @@ class Launcher:
     ) -> Job:
         """Cold restart from a checkpoint directory.
 
+        With ``generation=None`` the newest *restorable* generation is
+        chosen: complete manifest, an integrity-verified image for every
+        rank, cold-restartable kind.  An explicit ``generation`` is
+        strict — it restarts that generation or raises.
+
         ``impl_override`` restarts the job under a different MPI
         implementation — the full-interoperability extension of §9
         (checkpoint under one MPI, restart under another).
         """
+        if generation is None:
+            generation = latest_restorable_generation(ckpt_dir)
+            if generation is None:
+                gens = latest_generations(ckpt_dir)
+                if not gens:
+                    raise RestartError(f"no checkpoints under {ckpt_dir}")
+                problems = [
+                    f"generation {g}: {p}"
+                    for g in gens
+                    for p in validate_generation(ckpt_dir, g)
+                ]
+                raise RestartError(
+                    "no restorable checkpoint generation under "
+                    f"{ckpt_dir}: " + "; ".join(problems)
+                )
         manifest = read_manifest(ckpt_dir, generation)
         if not manifest["cold_restartable"]:
             raise RestartError(
@@ -346,11 +497,26 @@ class Launcher:
             seed=self.config.seed,
             ckpt_dir=ckpt_dir,
             loop_lag_window=self.config.loop_lag_window,
+            ckpt_interval=self.config.ckpt_interval,
             epoch=max(img.epoch for img in images) + 1,
             deadline=self.config.deadline,
+            faults=self.config.faults,
+            ckpt_phase_timeout=self.config.ckpt_phase_timeout,
+            ckpt_round_retries=self.config.ckpt_round_retries,
         )
-        return Job(cfg, images=images)
+        job = Job(cfg, images=images)
+        if job.coordinator is not None:
+            # New checkpoints must not clobber generations newer than
+            # the one being restored (e.g. an incomplete one we skipped).
+            existing = latest_generations(ckpt_dir)
+            if existing:
+                job.coordinator.generation = existing[-1]
+        return job
 
     @staticmethod
     def available_generations(ckpt_dir: str) -> List[int]:
         return latest_generations(ckpt_dir)
+
+    @staticmethod
+    def restorable(ckpt_dir: str) -> List[int]:
+        return restorable_generations(ckpt_dir)

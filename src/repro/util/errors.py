@@ -78,8 +78,26 @@ class CheckpointError(ReproError):
     """A failure while quiescing, draining, or writing a checkpoint."""
 
 
+class CheckpointRoundAborted(CheckpointError):
+    """The current checkpoint round was aborted (a rank failed mid-round
+    or a stall was detected); the coordinator may retry the round.  Ranks
+    catch this inside ``checkpoint_participate`` and re-park."""
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately injected by a :class:`repro.faults.FaultPlan`.
+
+    Distinct from organic failures so recovery traces can label it and
+    tests can assert the fault — not some accident — fired."""
+
+
 class RestartError(ReproError):
     """A failure while reconstructing MPI objects or upper-half state."""
+
+
+class IntegrityError(RestartError):
+    """A checkpoint image failed its integrity check: truncated file,
+    checksum mismatch, or unrecognized header."""
 
 
 class JobPreempted(ReproError):

@@ -68,6 +68,20 @@ def test_report_ablation(capsys):
     assert "legacy" in out and "new" in out
 
 
+def test_faults_single_scenario(capsys):
+    assert main(["faults", "round-abort"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok ] round-abort" in out
+    assert "self-healed" in out
+
+
+def test_fault_smoke(capsys):
+    assert main(["fault-smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "self-heal    : ok" in out
+    assert "deterministic: ok" in out
+
+
 def test_legacy_vid_run_fails_on_openmpi(capsys):
     rc = main([
         "run", "comd", "--ranks", "2", "--blocks", "2", "--mana",

@@ -73,19 +73,16 @@ class TestDrainIntegration:
         ).launch(lambda r: SkewedSendersApp(16))
         probe = {}
 
-        # Rebuild the coordinator's saved barrier with a spying action to
-        # observe the fabric exactly at image-writing time (the original
-        # barrier captured its action at construction).
-        import threading
-
+        # Wrap the saved gate's action with a spy to observe the fabric
+        # exactly at image-writing time.
         coord = job.coordinator
-        orig = coord._on_saved
+        orig = coord._g_saved.action
 
         def spy():
             probe["in_flight"] = job.fabric.in_flight()
             orig()
 
-        coord._bar_saved = threading.Barrier(4, action=spy)
+        coord._g_saved.action = spy
         tk = job.checkpoint_at_iteration("main", 6)
         job.start()
         info = tk.wait(120)

@@ -130,6 +130,50 @@ class TestCheckpointFailures:
             Launcher(cfg).restart(str(tmp_path / "nothing"))
 
 
+class TestIntegrityFallback:
+    """Torn or bit-rotted images are rejected with typed errors, and a
+    generation-less restart falls back to the newest intact generation."""
+
+    def _two_generations(self, tmp_path):
+        ckdir = str(tmp_path / "ck")
+        cfg = JobConfig(nranks=2, impl="mpich", mana=True, ckpt_dir=ckdir,
+                        loop_lag_window=2)
+        job = Launcher(cfg).launch(lambda r: RingApp(16))
+        job.checkpoint_at_iteration("main", 3, kind="loop")
+        tk = job.checkpoint_at_iteration("main", 8, kind="loop", mode="exit")
+        job.start()
+        tk.wait(60)
+        assert job.wait(60).status == "preempted"
+        return ckdir, cfg
+
+    @pytest.mark.parametrize("corruption", ["truncate", "bitflip"])
+    def test_corrupt_generation_falls_back_to_previous(
+            self, tmp_path, corruption):
+        from repro.mana.checkpoint import load_image, rank_image_path
+        from repro.util.errors import IntegrityError
+
+        ckdir, cfg = self._two_generations(tmp_path)
+        path = rank_image_path(ckdir, 2, 0)
+        size = os.path.getsize(path)
+        if corruption == "truncate":
+            with open(path, "r+b") as f:
+                f.truncate(size // 2)
+            expect = "truncated"
+        else:
+            with open(path, "r+b") as f:
+                f.seek(size - 5)
+                b = f.read(1)
+                f.seek(size - 5)
+                f.write(bytes([b[0] ^ 0x01]))
+            expect = "checksum mismatch"
+        with pytest.raises(IntegrityError, match=expect):
+            load_image(path)
+        # generation 2 is no longer restorable; restart picks 1
+        assert Launcher.restorable(ckdir) == [1]
+        res = Launcher(cfg).restart(ckdir).run(timeout=60)
+        assert res.status == "completed", res.first_error()
+
+
 class TestFabricFailures:
     def test_deadlocked_recv_detected(self):
         class DeadlockApp(MpiApplication):
