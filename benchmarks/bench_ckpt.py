@@ -1,0 +1,63 @@
+"""Checkpoint-pipeline bench: format-5 chunked dedup + compression.
+
+Writes ``benchmarks/results/BENCH_ckpt.json`` (the baseline that
+``python -m repro ckpt-smoke`` regresses against) and prints the
+acceptance number: warm incremental saves must write >= 5x fewer
+payload bytes than a cold format-5 save.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_ckpt.py [--payload-mb M]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.harness.bench import default_ckpt_baseline_path, run_ckpt_bench
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--payload-mb", type=float, default=4.0,
+                    help="per-rank payload size in MB")
+    ap.add_argument("--ranks", type=int, default=4)
+    ap.add_argument("--out", default=default_ckpt_baseline_path())
+    args = ap.parse_args()
+
+    result = run_ckpt_bench(
+        out_path=args.out, payload_mb=args.payload_mb, nranks=args.ranks
+    )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    b = result["ckpt"]
+    print(
+        f"\ncold save     : {b['cold']['mb_per_s']:.1f} MB/s "
+        f"({b['cold']['bytes_written']:,} bytes, "
+        f"{b['cold']['chunks_written']} chunks)"
+    )
+    print(
+        f"warm save     : {b['warm_identical']['mb_per_s']:.1f} MB/s "
+        f"({b['warm_identical']['bytes_written']:,} bytes, "
+        f"{b['warm_identical']['chunks_reused']} chunks reused)"
+    )
+    print(
+        f"restore       : {b['restore']['mb_per_s']:.1f} MB/s "
+        f"(chunk-verified reassembly)"
+    )
+    print(
+        f"dedup factor  : {b['bytes_dedup_factor']:.1f}x fewer bytes "
+        f"(identical state), {b['mutated_dedup_factor']:.1f}x "
+        f"(2% mutated)"
+    )
+    print(f"baseline      : {args.out}")
+    # The acceptance bar: warm incremental >= 5x fewer bytes than cold.
+    return 0 if b["bytes_dedup_factor"] >= 5.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,13 @@ restart    cold-restart a job from a checkpoint directory, optionally
 report     regenerate one (or all) of the paper's tables/figures
            (``--jobs N`` fans independent cases across N workers)
 bench-smoke  tiny hot-path benchmark vs the checked-in baseline
+ckpt-bench   format-5 checkpoint pipeline benchmark (chunked dedup,
+           compression, warm-incremental bytes written)
+ckpt-smoke   small checkpoint bench vs the checked-in baseline; also
+           asserts warm saves still write >= 5x fewer bytes than cold
 faults     seeded fault-injection scenario sweep (crash / corruption /
-           disk-full / coordinator stall -> supervised self-healing)
+           chunk rot / disk-full / coordinator stall -> supervised
+           self-healing)
 fault-smoke  CI smoke: acceptance scenario twice, asserting the job
            self-heals and the recovery trace is deterministic
 apps       list the available proxy applications
@@ -149,6 +154,57 @@ def _cmd_bench_smoke(args) -> int:
     return 0
 
 
+def _cmd_ckpt_bench(args) -> int:
+    from repro.harness.bench import run_ckpt_bench
+
+    out = run_ckpt_bench(out_path=args.out, payload_mb=args.payload_mb,
+                         nranks=args.ranks)
+    b = out["ckpt"]
+    print(f"checkpoint pipeline (format 5): {b['nranks']} ranks x "
+          f"{b['payload_mb']:.1f} MB, compress level "
+          f"{b['compress_level']}")
+    for label, key in (("cold save", "cold"),
+                       ("warm save (identical)", "warm_identical"),
+                       ("warm save (2% mutated)", "warm_mutated")):
+        s = b[key]
+        print(f"  {label:24} {s['mb_per_s']:8.1f} MB/s  "
+              f"chunks {s['chunks_written']}/{s['chunks_total']} written "
+              f"({s['chunks_reused']} reused), "
+              f"{s['bytes_written']:,} bytes to disk")
+    print(f"  {'restore':24} {b['restore']['mb_per_s']:8.1f} MB/s")
+    print(f"  dedup factor: {b['bytes_dedup_factor']:.1f}x fewer bytes "
+          f"(identical), {b['mutated_dedup_factor']:.1f}x (mutated)")
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_ckpt_smoke(args) -> int:
+    from repro.harness.bench import ckpt_smoke, default_ckpt_baseline_path
+
+    try:
+        out = ckpt_smoke(baseline_path=args.baseline,
+                         max_regression=args.max_regression)
+    except FileNotFoundError:
+        path = args.baseline or default_ckpt_baseline_path()
+        print(f"ckpt-smoke: no baseline at {path}\n"
+              f"generate one with: "
+              f"PYTHONPATH=src python benchmarks/bench_ckpt.py")
+        return 2
+    for c in out["checks"]:
+        mark = "ok " if c["ok"] else "FAIL"
+        slow = (f"  ({c['slowdown']:.2f}x slower than baseline)"
+                if c["slowdown"] is not None else "")
+        print(f"[{mark}] {c['metric']}: {c['current']:,.1f} "
+              f"(baseline {c['baseline']:,.1f}){slow}")
+    if not out["ok"]:
+        print(f"ckpt-smoke: checkpoint pipeline regression beyond "
+              f"{out['max_regression']}x tolerance (or dedup factor < 5)")
+        return 1
+    print("ckpt-smoke: checkpoint pipeline within tolerance")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     from repro.faults.scenarios import SCENARIOS, run_scenario
 
@@ -162,6 +218,10 @@ def _cmd_faults(args) -> int:
         print(f"[{mark}] {name}: status={out['status']} "
               f"restarts={out['restarts']} restored_gens={restored} "
               f"faults_fired={len(out['faults_fired'])}")
+        for gen, d in sorted(out.get("dedup", {}).items()):
+            print(f"       gen {gen}: {d['chunks_written']} chunks "
+                  f"written, {d['chunks_reused']} reused, "
+                  f"{d['bytes_written']:,} bytes to disk")
         if args.verbose:
             for ev in out.get("events", []):
                 print(f"       event: {ev}")
@@ -287,13 +347,35 @@ def main(argv=None) -> int:
     p.set_defaults(fn=_cmd_bench_smoke)
 
     p = sub.add_parser(
+        "ckpt-bench",
+        help="format-5 checkpoint pipeline benchmark (dedup/compress)",
+    )
+    p.add_argument("--payload-mb", type=float, default=4.0,
+                   help="per-rank payload size in MB (default 4.0)")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--out", default=None,
+                   help="write full JSON results to this path")
+    p.set_defaults(fn=_cmd_ckpt_bench)
+
+    p = sub.add_parser(
+        "ckpt-smoke",
+        help="small checkpoint bench vs the checked-in baseline",
+    )
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON (default: "
+                        "benchmarks/results/BENCH_ckpt.json)")
+    p.add_argument("--max-regression", type=float, default=5.0,
+                   help="fail when MB/s drops more than this factor")
+    p.set_defaults(fn=_cmd_ckpt_smoke)
+
+    p = sub.add_parser(
         "faults",
         help="seeded fault-injection sweep with supervised self-healing",
     )
     p.add_argument("scenario", nargs="?", default="all",
                    choices=["all", "crash-restore", "self-heal",
                             "disk-full", "truncate-fallback",
-                            "round-abort", "msg-delay"])
+                            "round-abort", "msg-delay", "chunk-corrupt"])
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_faults)

@@ -130,6 +130,58 @@ class FaultInjector:
                                mode=s.mode, path=os.path.basename(path))
                     self._corrupt(path, s)
 
+    def after_chunked_save(self, store, rank: int, generation: int,
+                           new_digests: List[str],
+                           all_digests: List[str]) -> None:
+        """Corrupt the nth *fresh* chunk of a format-5 save (bit rot on
+        new data).  Fresh = referenced by this rank's new image but by
+        no generation older than it — those stay intact, so earlier
+        generations remain restorable and fallback is deterministic.
+        (``new_digests`` — who won the store write — is scheduling-
+        dependent when ranks share chunks, so the target is chosen from
+        the image's reference list against *prior* generations, both of
+        which are deterministic.)"""
+        with self._lock:
+            candidates = self._candidates(P.CORRUPT_CHUNK)
+            if not candidates:
+                return
+            from repro.mana.checkpoint import (
+                latest_generations,
+                referenced_chunks,
+            )
+
+            base = store.base_dir
+            prior = referenced_chunks(
+                base,
+                [g for g in latest_generations(base) if g < generation],
+            )
+            fresh: List[str] = []
+            for d in all_digests:
+                if d not in prior and d not in fresh:
+                    fresh.append(d)
+            for i in candidates:
+                s = self.plan.specs[i]
+                if s.rank != rank or s.generation != generation:
+                    continue
+                if not fresh:
+                    continue  # fully-deduped save: nothing fresh to rot
+                digest = fresh[min(s.nth, len(fresh)) - 1]
+                path = store.chunk_path(digest)
+                size = os.path.getsize(path)
+                # Seed-derived offset past the zlib magic so the flip
+                # hits compressed payload, not just the 2-byte header.
+                lo = min(2, size - 1)
+                off = lo + _stable_hash(
+                    f"{self.plan.seed}/corrupt-chunk/{generation}/{rank}"
+                ) % max(1, size - lo)
+                with open(path, "r+b") as f:
+                    f.seek(off)
+                    b = f.read(1)
+                    f.seek(off)
+                    f.write(bytes([b[0] ^ 0xFF]))
+                self._fire(i, rank=rank, generation=generation,
+                           chunk=digest[:12], nth=s.nth)
+
     def _corrupt(self, path: str, spec: P.FaultSpec) -> None:
         size = os.path.getsize(path)
         if spec.mode == P.CORRUPT_TRUNCATE:

@@ -25,6 +25,7 @@ CRASH = "crash"
 MSG_DROP = "msg-drop"
 MSG_DELAY = "msg-delay"
 CORRUPT_IMAGE = "corrupt-image"
+CORRUPT_CHUNK = "corrupt-chunk"
 DISK_FULL = "disk-full"
 ROUND_ABORT = "round-abort"
 
@@ -84,6 +85,9 @@ class FaultSpec:
         if self.kind == CORRUPT_IMAGE:
             return (f"{self.mode} image of rank {self.rank} "
                     f"generation {self.generation}")
+        if self.kind == CORRUPT_CHUNK:
+            return (f"corrupt store chunk #{self.nth} newly written by "
+                    f"rank {self.rank} generation {self.generation}")
         if self.kind == DISK_FULL:
             return (f"disk full on rank {self.rank} saving "
                     f"generation {self.generation}")
@@ -142,6 +146,18 @@ class FaultPlan:
         return self.add(
             FaultSpec(CORRUPT_IMAGE, rank=rank, generation=generation,
                       mode=mode)
+        )
+
+    def corrupt_chunk(self, generation: int, rank: int,
+                      nth: int = 1) -> "FaultPlan":
+        """Flip one byte of the ``nth`` chunk file rank ``rank``'s
+        format-5 save of ``generation`` *newly wrote* to the content
+        store.  Targeting new chunks only keeps earlier generations
+        (whose chunks are all older) restorable, so fallback is
+        well-defined."""
+        return self.add(
+            FaultSpec(CORRUPT_CHUNK, rank=rank, generation=generation,
+                      nth=nth)
         )
 
     def disk_full(self, rank: int, generation: int) -> "FaultPlan":

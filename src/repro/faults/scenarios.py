@@ -140,10 +140,33 @@ def _supervised(seed: int, plan: FaultPlan, workdir: Optional[str],
             "baseline": baseline_checksums(seed),
             "faults_fired": _injector_trace(cfg),
             "runtime": round(res.runtime, 9),
+            "dedup": _dedup_summary(tmp),
         }
     finally:
         if own:
             shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _dedup_summary(ckpt_dir: str) -> Dict[int, Dict]:
+    """Per-generation incremental-save stats from the on-disk manifests
+    (chunks written / reused, bytes written) — the dedup effectiveness
+    report ``python -m repro faults`` surfaces."""
+    from repro.mana.checkpoint import latest_generations, read_manifest
+    from repro.util.errors import RestartError
+
+    out: Dict[int, Dict] = {}
+    for g in latest_generations(ckpt_dir):
+        try:
+            dd = read_manifest(ckpt_dir, g).get("dedup")
+        except RestartError:
+            continue  # incomplete generation (e.g. crashed mid-save)
+        if dd is not None:
+            out[g] = {
+                "chunks_written": dd["chunks_written"],
+                "chunks_reused": dd["chunks_reused"],
+                "bytes_written": dd["bytes_written"],
+            }
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +255,29 @@ def scenario_truncate_fallback(seed: int = 7,
     return out
 
 
+def scenario_chunk_corrupt(seed: int = 7,
+                           workdir: Optional[str] = None) -> Dict:
+    """Format-5 chunk-level bit rot: a chunk newly stored by rank 0's
+    generation-2 save is corrupted in the content store, plus a later
+    crash.  Validation must pin the bad chunk on generation 2 (its
+    chunks are content-shared with nothing older), and the supervisor
+    must fall back to generation 1."""
+    plan = (
+        FaultPlan(seed=seed)
+        .corrupt_chunk(generation=2, rank=0)
+        .crash_at_loop(rank=2, iteration=9)
+    )
+    out = _supervised(seed, plan, workdir)
+    restored = [e["generation"] for e in out["events"]
+                if e["event"] == "restart"]
+    out["ok"] = (
+        out["status"] == "completed"
+        and restored == [1]
+        and out["checksums"] == out["baseline"]
+    )
+    return out
+
+
 def scenario_round_abort(seed: int = 7,
                          workdir: Optional[str] = None) -> Dict:
     """An injected coordinator stall aborts checkpoint round 1 on its
@@ -302,6 +348,7 @@ SCENARIOS: Dict[str, Callable[..., Dict]] = {
     "self-heal": scenario_self_heal,
     "disk-full": scenario_disk_full,
     "truncate-fallback": scenario_truncate_fallback,
+    "chunk-corrupt": scenario_chunk_corrupt,
     "round-abort": scenario_round_abort,
     "msg-delay": scenario_msg_delay,
 }

@@ -31,15 +31,26 @@ from typing import Dict, List, Optional
 BASELINE_RELPATH = os.path.join(
     "benchmarks", "results", "BENCH_hotpath.json"
 )
+#: Checkpoint-pipeline baseline (cold/warm/restore), repo-relative.
+CKPT_BASELINE_RELPATH = os.path.join(
+    "benchmarks", "results", "BENCH_ckpt.json"
+)
 
 
-def default_baseline_path() -> str:
-    root = os.path.dirname(
+def _repo_root() -> str:
+    return os.path.dirname(
         os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         )
     )
-    return os.path.join(root, BASELINE_RELPATH)
+
+
+def default_baseline_path() -> str:
+    return os.path.join(_repo_root(), BASELINE_RELPATH)
+
+
+def default_ckpt_baseline_path() -> str:
+    return os.path.join(_repo_root(), CKPT_BASELINE_RELPATH)
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +185,215 @@ def run_hotpath_bench(out_path: Optional[str] = None,
             json.dump(result, f, indent=2, sort_keys=True)
             f.write("\n")
     return result
+
+
+# ----------------------------------------------------------------------
+# checkpoint pipeline bench (format 5: chunked dedup + compression)
+# ----------------------------------------------------------------------
+def _ckpt_bench_image(rank: int, nranks: int, payload, generation: int):
+    from repro.mana.checkpoint import CheckpointImage
+    from repro.mana.drain import DrainBuffer
+    from repro.mana.virtid import VirtualIdTable
+
+    return CheckpointImage(
+        rank=rank,
+        nranks=nranks,
+        impl="mpich",
+        kind="loop",
+        generation=generation,
+        app={"state": payload},
+        loops={"main": generation},
+        vid_table=VirtualIdTable(32),
+        drain_buffer=DrainBuffer(),
+        clock_state={"now": float(generation), "accounts": {}},
+        rng_state=None,
+        cs_count=0,
+        epoch=generation - 1,
+    )
+
+
+def _agg_savestats(stats_list: List[Dict]) -> Dict:
+    keys = ("chunks_total", "chunks_written", "chunks_reused",
+            "bytes_written", "payload_bytes")
+    return {k: sum(s[k] for s in stats_list) for k in keys}
+
+
+def bench_checkpoint(payload_mb: float = 4.0,
+                     nranks: int = 4,
+                     mutate_fraction: float = 0.02,
+                     compress_level: int = 3) -> Dict:
+    """Format-5 checkpoint pipeline throughput + dedup factors.
+
+    Measures three saves of ``nranks`` images, each carrying a
+    ``payload_mb``-MB incompressible numpy payload:
+
+    * **cold** — generation 1, empty chunk store: every chunk written.
+    * **warm_identical** — generation 2, app state unchanged: only the
+      image headers and the few chunks carrying generation-dependent
+      metadata are rewritten.  ``bytes_dedup_factor`` (cold bytes
+      written / warm bytes written) is the acceptance number — it must
+      be ≥ 5 (in practice it is orders of magnitude higher).
+    * **warm_mutated** — generation 3 after overwriting a contiguous
+      ``mutate_fraction`` of each rank's payload: content-defined
+      boundaries resync after the edit, so bytes written scale with
+      the change, not the payload.
+
+    Then restores generation 3 (full reassembly + per-chunk sha256
+    verification) and, for context, saves the same cold state in the
+    monolithic format-4 layout.
+    """
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.mana import checkpoint as ckpt
+    from repro.mana.chunkstore import store_for
+
+    per_rank = int(payload_mb * 1_000_000)
+    rng = np.random.default_rng(20230715)
+    payloads = [
+        rng.integers(0, 256, size=per_rank, dtype=np.uint8)
+        for _ in range(nranks)
+    ]
+    logical_total = per_rank * nranks
+
+    tmp = tempfile.mkdtemp(prefix="repro-ckpt-bench-")
+    try:
+        store = store_for(tmp, compress_level=compress_level)
+
+        def save_generation(gen: int):
+            t0 = time.perf_counter()
+            stats = []
+            for r in range(nranks):
+                path = ckpt.rank_image_path(tmp, gen, r)
+                img = _ckpt_bench_image(r, nranks, payloads[r], gen)
+                stats.append(ckpt.save_chunked_image(path, img, store))
+            secs = time.perf_counter() - t0
+            agg = _agg_savestats(stats)
+            agg["seconds"] = secs
+            agg["mb_per_s"] = (logical_total / 1e6) / secs if secs > 0 \
+                else float("inf")
+            return agg
+
+        cold = save_generation(1)
+        warm_identical = save_generation(2)
+        span = max(1, int(per_rank * mutate_fraction))
+        for r in range(nranks):
+            start = (r * 7919) % max(1, per_rank - span)
+            payloads[r][start:start + span] ^= 0xA5
+        warm_mutated = save_generation(3)
+
+        t0 = time.perf_counter()
+        restored = [
+            ckpt.load_image(ckpt.rank_image_path(tmp, 3, r))
+            for r in range(nranks)
+        ]
+        restore_s = time.perf_counter() - t0
+        for r, img in enumerate(restored):
+            if not np.array_equal(img.app["state"], payloads[r]):
+                raise AssertionError(
+                    f"restored payload mismatch for rank {r}"
+                )
+
+        fmt4_dir = os.path.join(tmp, "fmt4")
+        t0 = time.perf_counter()
+        fmt4_bytes = 0
+        for r in range(nranks):
+            path = ckpt.rank_image_path(fmt4_dir, 1, r)
+            fmt4_bytes += ckpt.save_image(
+                path, _ckpt_bench_image(r, nranks, payloads[r], 1)
+            )
+        fmt4_s = time.perf_counter() - t0
+
+        def factor(baseline: Dict, warm: Dict) -> float:
+            if warm["bytes_written"] <= 0:
+                return float("inf")
+            return baseline["bytes_written"] / warm["bytes_written"]
+
+        return {
+            "payload_mb": payload_mb,
+            "nranks": nranks,
+            "mutate_fraction": mutate_fraction,
+            "compress_level": compress_level,
+            "cold": cold,
+            "warm_identical": warm_identical,
+            "warm_mutated": warm_mutated,
+            "restore": {
+                "seconds": restore_s,
+                "mb_per_s": (logical_total / 1e6) / restore_s
+                if restore_s > 0 else float("inf"),
+            },
+            "format4": {"seconds": fmt4_s, "bytes_written": fmt4_bytes},
+            "bytes_dedup_factor": factor(cold, warm_identical),
+            "mutated_dedup_factor": factor(cold, warm_mutated),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run_ckpt_bench(out_path: Optional[str] = None,
+                   payload_mb: float = 4.0,
+                   nranks: int = 4) -> Dict:
+    """The full checkpoint bench; writes JSON when ``out_path`` given."""
+    import platform as _platform
+
+    result = {
+        "python": _platform.python_version(),
+        "ckpt": bench_checkpoint(payload_mb=payload_mb, nranks=nranks),
+    }
+    if out_path:
+        os.makedirs(os.path.dirname(out_path), exist_ok=True)
+        with open(out_path, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return result
+
+
+def ckpt_smoke(baseline_path: Optional[str] = None,
+               max_regression: float = 5.0,
+               payload_mb: float = 1.0) -> Dict:
+    """Small checkpoint bench vs the checked-in baseline.
+
+    Fails when cold-save or restore throughput regresses more than
+    ``max_regression``× against BENCH_ckpt.json, or when the warm
+    incremental save no longer writes ≥ 5x fewer payload bytes than the
+    cold save (the dedup pipeline's acceptance property).
+    """
+    baseline_path = baseline_path or default_ckpt_baseline_path()
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    now = bench_checkpoint(payload_mb=payload_mb, nranks=2)
+    checks = []
+    ok = True
+    for metric, base, cur in (
+        ("cold_save_mb_per_s", baseline["ckpt"]["cold"]["mb_per_s"],
+         now["cold"]["mb_per_s"]),
+        ("restore_mb_per_s", baseline["ckpt"]["restore"]["mb_per_s"],
+         now["restore"]["mb_per_s"]),
+    ):
+        ratio = base / cur if cur > 0 else float("inf")
+        good = ratio <= max_regression
+        ok = ok and good
+        checks.append({
+            "metric": metric,
+            "baseline": base,
+            "current": cur,
+            "slowdown": ratio,
+            "ok": good,
+        })
+    # The incremental property itself: warm save must write >= 5x fewer
+    # bytes than cold, regardless of machine speed.
+    dedup_ok = now["bytes_dedup_factor"] >= 5.0
+    ok = ok and dedup_ok
+    checks.append({
+        "metric": "bytes_dedup_factor",
+        "baseline": baseline["ckpt"]["bytes_dedup_factor"],
+        "current": now["bytes_dedup_factor"],
+        "slowdown": None,
+        "ok": dedup_ok,
+    })
+    return {"ok": ok, "max_regression": max_regression, "checks": checks}
 
 
 def smoke(baseline_path: Optional[str] = None,

@@ -17,7 +17,10 @@ Subpackage map (one module per paper concept):
   into the lower half and back on the way out;
 * :mod:`repro.mana.drain` — the checkpoint-time quiesce and
   point-to-point drain protocol (send-count alltoall + Iprobe/Recv);
-* :mod:`repro.mana.checkpoint` — checkpoint images (save/load);
+* :mod:`repro.mana.checkpoint` — checkpoint images (save/load, format 4
+  monolithic and format 5 incremental);
+* :mod:`repro.mana.chunkstore` — the per-job content-addressed store of
+  compressed content-defined chunks backing format-5 images;
 * :mod:`repro.mana.replay` — restart-time reconstruction of MPI objects
   through standard MPI calls only (§5's required subset);
 * :mod:`repro.mana.coordinator` — the checkpoint coordinator state
@@ -28,7 +31,13 @@ from repro.mana.virtid import VirtualIdTable, VidEntry, GgidPolicy
 from repro.mana.legacy import LegacyVirtualIdMaps
 from repro.mana.wrappers import ManaRank, ManaFacade
 from repro.mana.coordinator import CheckpointCoordinator, CheckpointKind
-from repro.mana.checkpoint import CheckpointImage, save_image, load_image
+from repro.mana.checkpoint import (
+    CheckpointImage,
+    save_chunked_image,
+    save_image,
+    load_image,
+)
+from repro.mana.chunkstore import ChunkStore, chunk_spans, store_for
 
 __all__ = [
     "VirtualIdTable",
@@ -41,5 +50,9 @@ __all__ = [
     "CheckpointKind",
     "CheckpointImage",
     "save_image",
+    "save_chunked_image",
     "load_image",
+    "ChunkStore",
+    "chunk_spans",
+    "store_for",
 ]

@@ -13,16 +13,35 @@ pickled); "MANA does not require a special data structure in the
 checkpoint image to identify these MANA-internal structures" — the
 records are simply part of the saved upper half.
 
-On-disk layout (format 4)::
+Two on-disk formats coexist (PROTOCOLS.md §10):
+
+**Format 4** (read-side back-compat, and still the write path when no
+chunk store is configured)::
 
     MAGIC (8 bytes) | header length (4 bytes, big-endian) | JSON header
     | pickle payload
 
-The JSON header carries the image identity plus ``payload_bytes`` and a
-``payload_sha256`` over the pickle blob, so :func:`load_image` detects
-truncation and bit rot *before* unpickling.  Writes go to a temp file in
-the generation dir and are atomically renamed into place — an
-interrupted save never leaves a torn image at the final path.
+The JSON header carries ``payload_bytes`` and a ``payload_sha256`` over
+the pickle blob, so :func:`load_image` detects truncation and bit rot
+*before* unpickling.
+
+**Format 5** (incremental, chunked, deduplicated)::
+
+    MAGIC | header length | JSON header | sha256(JSON header) (32 bytes)
+
+The payload is *not* in the image file.  It lives in the per-job
+content-addressed :class:`repro.mana.chunkstore.ChunkStore` as
+compressed content-defined chunks; the header's ``chunks`` list is the
+ordered reference list ``[[sha256, uncompressed_len], ...]``.  A
+generation whose application state barely changed re-produces mostly
+identical chunk digests, so it writes only the changed chunks — the
+incremental checkpointing the paper's Table 3 costs motivate.  The
+trailing header digest makes any bit flip in the (small) image file
+detectable; payload integrity is verified chunk-by-chunk at load, so a
+corrupt chunk names itself instead of failing a full-payload hash.
+
+All writes are atomic (temp file + rename) — an interrupted save never
+leaves a torn image or chunk at a final path.
 """
 
 from __future__ import annotations
@@ -31,10 +50,21 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import struct
+import threading
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.mana.chunkstore import (
+    CHUNK_MAX,
+    CHUNK_MIN,
+    ChunkStore,
+    STORE_DIRNAME,
+    chunk_spans,
+    store_for,
+)
 from repro.util.errors import (
     CheckpointError,
     InjectedFault,
@@ -42,10 +72,13 @@ from repro.util.errors import (
     RestartError,
 )
 
-FORMAT_VERSION = 4
+FORMAT_VERSION = 5
+#: Formats the read side (load/verify/validate/restart) accepts.
+SUPPORTED_FORMATS = (4, 5)
 MAGIC = b"RPCKPTIM"
 MANIFEST_NAME = "manifest.json"
 _LEN = struct.Struct(">I")
+_HDR_DIGEST_LEN = 32  # raw sha256 appended to format-5 headers
 
 
 @dataclass
@@ -65,8 +98,8 @@ class CheckpointImage:
     rng_state: Optional[Dict]
     cs_count: int
     epoch: int
-    # Size of the image file on disk (set by load_image; used for the
-    # restart-time model).  Not serialized.
+    # Logical size of the saved upper half (set by load_image; used for
+    # the restart-time model).  Not serialized.
     stored_bytes: int = 0
 
 
@@ -78,8 +111,69 @@ def rank_image_path(base_dir: str, generation: int, rank: int) -> str:
     return os.path.join(generation_dir(base_dir, generation), f"rank_{rank:05d}.img")
 
 
-def _encode_image(image: CheckpointImage) -> bytes:
-    """MAGIC + length-prefixed JSON header + checksummed pickle payload."""
+def _base_dir_of(path: str) -> str:
+    """ckpt base dir for an image path (…/base/ckpt_NNNN/rank_X.img)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(path)))
+
+
+# ----------------------------------------------------------------------
+# directory caches (satellite: no repeated re-scans / re-verifies)
+# ----------------------------------------------------------------------
+# Both caches are keyed by absolute base dir and guarded by one lock.
+#
+# * listing cache: latest_generations() re-listed and re-sorted the base
+#   dir on every call; now the sorted list is reused while the base
+#   dir's mtime_ns is unchanged (creating/removing a generation dir
+#   bumps it).
+# * validation cache: restorable_generations()/
+#   latest_restorable_generation() re-verified every image of every
+#   generation per call; now a generation's verdict is reused while its
+#   stat signature (file names, sizes, mtimes of the generation dir and
+#   the chunk store) is unchanged.  New-generation writes, pruning, GC,
+#   and any in-place corruption all change the signature.
+_CACHE_LOCK = threading.Lock()
+_LIST_CACHE: Dict[str, Tuple[int, List[int]]] = {}
+_VALIDATION_CACHE: Dict[str, Dict[Tuple[int, bool], Tuple[tuple, List[str]]]] = {}
+_WARNED_ENTRIES: Set[Tuple[str, str]] = set()
+
+
+def invalidate_checkpoint_caches(base_dir: Optional[str] = None) -> None:
+    """Drop cached directory listings and generation verdicts (all
+    directories when ``base_dir`` is None).  Called on new-generation
+    writes and pruning; exposed for tests and external mutation."""
+    with _CACHE_LOCK:
+        if base_dir is None:
+            _LIST_CACHE.clear()
+            _VALIDATION_CACHE.clear()
+            return
+        key = os.path.abspath(base_dir)
+        _LIST_CACHE.pop(key, None)
+        _VALIDATION_CACHE.pop(key, None)
+
+
+def _stat_signature(*dirs: str) -> tuple:
+    """(name, size, mtime_ns) of every regular file under ``dirs`` —
+    cheap (one scandir per dir) but sensitive to truncation, bit flips
+    (mtime), additions, and deletions."""
+    sig = []
+    for d in dirs:
+        try:
+            with os.scandir(d) as it:
+                for e in it:
+                    try:
+                        st = e.stat(follow_symlinks=False)
+                    except OSError:
+                        continue
+                    sig.append((d, e.name, st.st_size, st.st_mtime_ns))
+        except FileNotFoundError:
+            sig.append((d, None, -1, -1))
+    return tuple(sorted(sig))
+
+
+# ----------------------------------------------------------------------
+# encode / save
+# ----------------------------------------------------------------------
+def _pickle_upper_half(image: CheckpointImage) -> bytes:
     upper_half = {
         "app": image.app,
         "loops": image.loops,
@@ -92,63 +186,95 @@ def _encode_image(image: CheckpointImage) -> bytes:
     }
     try:
         # One pickle for everything that shares objects:
-        blob = pickle.dumps(upper_half, protocol=pickle.HIGHEST_PROTOCOL)
+        return pickle.dumps(upper_half, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:  # unpicklable app state is a user error
         raise CheckpointError(
             f"rank {image.rank}: upper-half state is not serializable "
             f"({exc}); application state must be plain data + numpy"
         ) from exc
-    header = {
-        "format_version": FORMAT_VERSION,
+
+
+def _identity_header(image: CheckpointImage, fmt: int) -> Dict:
+    return {
+        "format_version": fmt,
         "rank": image.rank,
         "nranks": image.nranks,
         "impl": image.impl,
         "kind": image.kind,
         "generation": image.generation,
-        "payload_bytes": len(blob),
-        "payload_sha256": hashlib.sha256(blob).hexdigest(),
     }
+
+
+def _encode_image_v4(image: CheckpointImage) -> bytes:
+    """MAGIC + length-prefixed JSON header + checksummed pickle payload."""
+    blob = _pickle_upper_half(image)
+    header = _identity_header(image, 4)
+    header["payload_bytes"] = len(blob)
+    header["payload_sha256"] = hashlib.sha256(blob).hexdigest()
     hdr = json.dumps(header, sort_keys=True).encode("utf-8")
     return MAGIC + _LEN.pack(len(hdr)) + hdr + blob
 
 
+def _encode_image_v5(image: CheckpointImage, blob_len: int,
+                     refs: List[List], compress_level: int) -> bytes:
+    """MAGIC + length-prefixed JSON header + sha256 over the header."""
+    header = _identity_header(image, 5)
+    header["payload_bytes"] = blob_len
+    header["chunks"] = refs
+    header["chunking"] = {
+        "min": CHUNK_MIN, "max": CHUNK_MAX, "compress_level": compress_level,
+    }
+    hdr = json.dumps(header, sort_keys=True).encode("utf-8")
+    return MAGIC + _LEN.pack(len(hdr)) + hdr + hashlib.sha256(hdr).digest()
+
+
+def _injection_points(path: str, data: bytes, image: CheckpointImage,
+                      injector, vtime: float) -> None:
+    """The save-site fault hooks, shared by both formats.
+
+    A mid-save crash leaves a torn *temp* file (never a torn image at
+    the final path); a disk-full error cleans its partial temp file up
+    and surfaces the error with the final path untouched.
+    """
+    tmp = path + ".tmp"
+    try:
+        injector.crash_point("mid-save", image.rank, image.generation, vtime)
+    except InjectedFault:
+        with open(tmp, "wb") as f:
+            f.write(data[: max(1, len(data) // 2)])
+        raise
+    if injector.disk_full_hit(image.rank, image.generation):
+        try:
+            with open(tmp, "wb") as f:
+                f.write(data[: max(1, len(data) // 2)])
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        raise InjectedFault(
+            f"injected disk-full: rank {image.rank} saving "
+            f"generation {image.generation}"
+        )
+
+
 def save_image(path: str, image: CheckpointImage, injector=None,
                vtime: float = 0.0) -> int:
-    """Write one rank's image; returns its size in bytes.
+    """Write one rank's image in **format 4**; returns its size in bytes.
+
+    Kept as the storeless write path (and the write-side compatibility
+    reference): one monolithic checksummed pickle per file.  Jobs with a
+    chunk store use :func:`save_chunked_image` instead.
 
     Crash-safe: the bytes land in ``<path>.tmp`` and are atomically
     renamed, so the final path either holds a complete verified image or
     nothing.  ``injector`` (a :class:`repro.faults.FaultInjector`) may
-    fire a mid-save crash (partial temp file left behind, final path
-    untouched) or a disk-full error (temp file removed, final path
-    untouched) at this site.
+    fire a mid-save crash or a disk-full error at this site.
     """
     os.makedirs(os.path.dirname(path), exist_ok=True)
-    data = _encode_image(image)
-    tmp = path + ".tmp"
+    invalidate_checkpoint_caches(_base_dir_of(path))
+    data = _encode_image_v4(image)
     if injector is not None:
-        try:
-            injector.crash_point("mid-save", image.rank, image.generation,
-                                 vtime)
-        except InjectedFault:
-            # The writer died partway: a torn temp file, never a torn
-            # image at the final path.
-            with open(tmp, "wb") as f:
-                f.write(data[: max(1, len(data) // 2)])
-            raise
-        if injector.disk_full_hit(image.rank, image.generation):
-            # ENOSPC mid-write: the writer cleans up its partial temp
-            # file and surfaces the error; the final path is untouched.
-            try:
-                with open(tmp, "wb") as f:
-                    f.write(data[: max(1, len(data) // 2)])
-            finally:
-                if os.path.exists(tmp):
-                    os.remove(tmp)
-            raise InjectedFault(
-                f"injected disk-full: rank {image.rank} saving "
-                f"generation {image.generation}"
-            )
+        _injection_points(path, data, image, injector, vtime)
+    tmp = path + ".tmp"
     with open(tmp, "wb") as f:
         f.write(data)
     os.replace(tmp, path)  # atomic: no torn images
@@ -158,6 +284,77 @@ def save_image(path: str, image: CheckpointImage, injector=None,
     return len(data)
 
 
+def save_chunked_image(
+    path: str,
+    image: CheckpointImage,
+    store: ChunkStore,
+    injector=None,
+    vtime: float = 0.0,
+) -> Dict:
+    """Write one rank's image in **format 5**: chunks into ``store``,
+    a small header-only image file at ``path``.
+
+    Returns the save statistics the dedup reporting and the checkpoint
+    cost model consume::
+
+        {"format": 5,
+         "payload_bytes":  <uncompressed pickle size>,
+         "file_bytes":     <image file size>,
+         "chunks_total":   n, "chunks_written": w, "chunks_reused": r,
+         "bytes_written":  <image file + newly stored compressed bytes>}
+
+    Only chunks whose content is new to the store are written —
+    generation N+1 of a mostly-unchanged rank writes a few chunks plus
+    the reference list.  Faults fire *before* any durable write, so an
+    injected crash or disk-full leaves no fresh chunks behind.
+    """
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    invalidate_checkpoint_caches(_base_dir_of(path))
+    blob = _pickle_upper_half(image)
+    spans = chunk_spans(blob)
+    view = memoryview(blob)
+    digests = [
+        hashlib.sha256(view[s:e]).hexdigest() for s, e in spans
+    ]
+    refs = [[d, e - s] for d, (s, e) in zip(digests, spans)]
+    data = _encode_image_v5(image, len(blob), refs, store.compress_level)
+    if injector is not None:
+        _injection_points(path, data, image, injector, vtime)
+    written = 0
+    new_digests: List[str] = []
+    seen: Set[str] = set()
+    for d, (s, e) in zip(digests, spans):
+        if d in seen:
+            continue  # intra-payload duplicate: one store write at most
+        seen.add(d)
+        _, nbytes, reused = store.put(view[s:e])
+        if not reused:
+            written += nbytes
+            new_digests.append(d)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(data)
+    os.replace(tmp, path)
+    if injector is not None:
+        injector.after_save(path, image.rank, image.generation)
+        injector.after_chunked_save(
+            store, image.rank, image.generation, new_digests, digests
+        )
+    reused_count = len(seen) - len(new_digests)
+    return {
+        "format": 5,
+        "payload_bytes": len(blob),
+        "file_bytes": len(data),
+        "chunks_total": len(refs),
+        "chunks_written": len(new_digests),
+        "chunks_reused": reused_count,
+        "bytes_written": len(data) + written,
+    }
+
+
+# ----------------------------------------------------------------------
+# decode / load
+# ----------------------------------------------------------------------
 def _read_header(path: str, data: bytes) -> Dict:
     """Parse and sanity-check the length-prefixed JSON header."""
     if len(data) < len(MAGIC) + _LEN.size or not data.startswith(MAGIC):
@@ -173,17 +370,16 @@ def _read_header(path: str, data: bytes) -> Dict:
         header = json.loads(data[start:start + hdr_len].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise IntegrityError(f"{path}: corrupt image header ({exc})") from None
-    if header.get("format_version") != FORMAT_VERSION:
+    fmt = header.get("format_version")
+    if fmt not in SUPPORTED_FORMATS:
         raise RestartError(
-            f"{path}: image format {header.get('format_version')} "
-            f"!= expected {FORMAT_VERSION}"
+            f"{path}: image format {fmt} not in supported formats "
+            f"{SUPPORTED_FORMATS}"
         )
     return header
 
 
-def _verify_bytes(path: str, data: bytes) -> Dict:
-    """Header + payload integrity check; returns the header."""
-    header = _read_header(path, data)
+def _verify_bytes_v4(path: str, data: bytes, header: Dict) -> None:
     (hdr_len,) = _LEN.unpack_from(data, len(MAGIC))
     start = len(MAGIC) + _LEN.size + hdr_len
     payload = data[start:]
@@ -199,34 +395,117 @@ def _verify_bytes(path: str, data: bytes) -> Dict:
             f"sha256 {digest[:12]}… != recorded "
             f"{header['payload_sha256'][:12]}…"
         )
+
+
+def _verify_bytes_v5(path: str, data: bytes) -> None:
+    """The format-5 image file is header-only; a trailing sha256 over
+    the header bytes makes any bit flip in the file detectable."""
+    (hdr_len,) = _LEN.unpack_from(data, len(MAGIC))
+    start = len(MAGIC) + _LEN.size
+    end = start + hdr_len
+    if len(data) < end + _HDR_DIGEST_LEN:
+        raise IntegrityError(f"{path}: truncated image header digest")
+    actual = hashlib.sha256(data[start:end]).digest()
+    if actual != data[end:end + _HDR_DIGEST_LEN]:
+        raise IntegrityError(
+            f"{path}: image header checksum mismatch (bit rot or torn "
+            f"write)"
+        )
+
+
+def _verify_bytes(path: str, data: bytes, deep: bool = True) -> Dict:
+    """Header + integrity check for either format; returns the header.
+
+    For format 5 with ``deep=True`` every referenced chunk is verified
+    in the store (decompress + sha256, memoized per chunk file) — a
+    corrupt or missing chunk names its index and digest.
+    """
+    header = _read_header(path, data)
+    if header["format_version"] == 4:
+        _verify_bytes_v4(path, data, header)
+        return header
+    _verify_bytes_v5(path, data)
+    if deep:
+        store = store_for(_base_dir_of(path))
+        refs = header.get("chunks", [])
+        for i, (digest, _ulen) in enumerate(refs):
+            store.verify(digest, context=f"{path}: chunk {i}/{len(refs)}")
     return header
 
 
-def verify_image(path: str) -> Dict:
+def verify_image(path: str, deep: bool = True) -> Dict:
     """Integrity-check one image without unpickling its payload.
 
     Returns the parsed header; raises :class:`IntegrityError` on
-    truncation or checksum mismatch, :class:`RestartError` when the file
-    is missing or not a recognized image format.
+    truncation or checksum mismatch (for format 5: of the header file
+    or of any referenced chunk), :class:`RestartError` when the file is
+    missing or not a recognized image format.
     """
     try:
         with open(path, "rb") as f:
             data = f.read()
     except FileNotFoundError:
         raise RestartError(f"no checkpoint image at {path}") from None
-    return _verify_bytes(path, data)
+    return _verify_bytes(path, data, deep=deep)
+
+
+def image_chunk_refs(path: str) -> List[List]:
+    """The ``[[digest, ulen], ...]`` reference list of a format-5 image
+    (empty for format 4) — used by GC and diagnostics."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except FileNotFoundError:
+        return []
+    try:
+        header = _read_header(path, data)
+    except (RestartError, IntegrityError):
+        return []
+    return header.get("chunks", []) or []
 
 
 def load_image(path: str) -> CheckpointImage:
-    """Load one rank's image, verifying its checksum first."""
+    """Load one rank's image (either format), verifying integrity first.
+
+    Format 4 verifies the full-payload sha256; format 5 streams the
+    payload back chunk by chunk, each chunk verified against its own
+    digest — corruption therefore names the chunk index rather than
+    just "checksum mismatch somewhere in N hundred MB".
+    """
     try:
         with open(path, "rb") as f:
             data = f.read()
     except FileNotFoundError:
         raise RestartError(f"no checkpoint image at {path}") from None
-    header = _verify_bytes(path, data)
+    header = _read_header(path, data)
     (hdr_len,) = _LEN.unpack_from(data, len(MAGIC))
-    uh = pickle.loads(data[len(MAGIC) + _LEN.size + hdr_len:])
+    if header["format_version"] == 4:
+        _verify_bytes_v4(path, data, header)
+        blob = data[len(MAGIC) + _LEN.size + hdr_len:]
+        stored = len(data)
+    else:
+        _verify_bytes_v5(path, data)
+        store = store_for(_base_dir_of(path))
+        refs = header.get("chunks", [])
+        parts = bytearray()
+        for i, (digest, ulen) in enumerate(refs):
+            chunk = store.get(
+                digest, context=f"{path}: chunk {i}/{len(refs)}"
+            )
+            if len(chunk) != ulen:
+                raise IntegrityError(
+                    f"{path}: chunk {i}/{len(refs)} {digest[:12]}… length "
+                    f"{len(chunk)} != recorded {ulen}"
+                )
+            parts += chunk
+        if len(parts) != header["payload_bytes"]:
+            raise IntegrityError(
+                f"{path}: reassembled payload is {len(parts)} bytes, "
+                f"header promises {header['payload_bytes']}"
+            )
+        blob = bytes(parts)
+        stored = len(data) + len(blob)
+    uh = pickle.loads(blob)
     return CheckpointImage(
         rank=header["rank"],
         nranks=header["nranks"],
@@ -241,10 +520,13 @@ def load_image(path: str) -> CheckpointImage:
         rng_state=uh["rng_state"],
         cs_count=uh["cs_count"],
         epoch=uh["epoch"],
-        stored_bytes=len(data),
+        stored_bytes=stored,
     )
 
 
+# ----------------------------------------------------------------------
+# manifests
+# ----------------------------------------------------------------------
 def write_manifest(
     base_dir: str,
     generation: int,
@@ -255,12 +537,18 @@ def write_manifest(
     cold_restartable: bool,
     loop_target: Optional[int],
     extra: Optional[Dict] = None,
+    dedup: Optional[Dict] = None,
 ) -> str:
     """Job-level manifest, written once (by rank 0) per generation.
 
     Atomic like the images: a generation with a manifest at its final
     path is by construction complete (the manifest is written last,
     after every rank's image passed the saved barrier).
+
+    ``dedup`` records the generation's incremental-save effectiveness
+    (``chunks_written`` / ``chunks_reused`` / ``bytes_written`` summed
+    over ranks); surfaced by ``python -m repro faults`` and
+    ``ckpt-bench``.
     """
     d = generation_dir(base_dir, generation)
     os.makedirs(d, exist_ok=True)
@@ -275,10 +563,15 @@ def write_manifest(
         "loop_target": loop_target,
         "extra": extra or {},
     }
+    if dedup is not None:
+        doc["dedup"] = dedup
     tmp = path + ".tmp"
     with open(tmp, "w") as f:
         json.dump(doc, f, indent=2)
     os.replace(tmp, path)
+    # A new generation just completed: cached listings/verdicts for this
+    # base dir are stale.
+    invalidate_checkpoint_caches(base_dir)
     return path
 
 
@@ -298,27 +591,49 @@ def read_manifest(base_dir: str, generation: Optional[int] = None) -> Dict:
 
 
 def latest_generations(base_dir: str) -> List[int]:
-    """Sorted generation numbers present under ``base_dir``."""
+    """Sorted generation numbers present under ``base_dir``.
+
+    The scan+sort runs once per directory state: the result is cached
+    against the base dir's mtime_ns, which changes whenever an entry is
+    added or removed.  Unrecognized entries (anything that is not a
+    ``ckpt_<int>`` generation dir or the chunk store) are warned about
+    once instead of being skipped silently.
+    """
     if not os.path.isdir(base_dir):
         return []
+    key = os.path.abspath(base_dir)
+    mtime = os.stat(base_dir).st_mtime_ns
+    with _CACHE_LOCK:
+        cached = _LIST_CACHE.get(key)
+        if cached is not None and cached[0] == mtime:
+            return list(cached[1])
     gens = []
     for name in os.listdir(base_dir):
         if name.startswith("ckpt_"):
             try:
                 gens.append(int(name[len("ckpt_"):]))
-            except ValueError:
                 continue
-    return sorted(gens)
+            except ValueError:
+                pass
+        if name == STORE_DIRNAME or name.endswith(".tmp"):
+            continue
+        with _CACHE_LOCK:
+            if (key, name) in _WARNED_ENTRIES:
+                continue
+            _WARNED_ENTRIES.add((key, name))
+        warnings.warn(
+            f"unrecognized entry {name!r} in checkpoint dir {base_dir} "
+            f"(expected ckpt_<generation> dirs or {STORE_DIRNAME!r})",
+            stacklevel=2,
+        )
+    gens.sort()
+    with _CACHE_LOCK:
+        _LIST_CACHE[key] = (mtime, list(gens))
+    return gens
 
 
-def validate_generation(base_dir: str, generation: int,
-                        require_cold: bool = True) -> List[str]:
-    """Why generation ``generation`` cannot be restored (empty = it can).
-
-    Checks manifest presence, cold-restartability, completeness (an
-    image for every rank), and per-image integrity (magic, length,
-    checksum).  Returns human-readable problem strings.
-    """
+def _validate_generation_uncached(base_dir: str, generation: int,
+                                  require_cold: bool) -> List[str]:
     problems: List[str] = []
     try:
         manifest = read_manifest(base_dir, generation)
@@ -348,6 +663,38 @@ def validate_generation(base_dir: str, generation: int,
     return problems
 
 
+def validate_generation(base_dir: str, generation: int,
+                        require_cold: bool = True) -> List[str]:
+    """Why generation ``generation`` cannot be restored (empty = it can).
+
+    Checks manifest presence, cold-restartability, completeness (an
+    image for every rank), and per-image integrity — for format 5 that
+    includes every referenced chunk in the store.  Returns
+    human-readable problem strings.
+
+    Verdicts are cached per (base dir, generation) against a stat
+    signature of the generation dir and the chunk store, so repeated
+    ``restorable_generations`` calls stop re-hashing unchanged images;
+    any on-disk change (new write, corruption, pruning, GC) changes the
+    signature and forces re-validation.
+    """
+    key = os.path.abspath(base_dir)
+    sig = _stat_signature(
+        generation_dir(base_dir, generation),
+        os.path.join(base_dir, STORE_DIRNAME),
+    )
+    ckey = (generation, require_cold)
+    with _CACHE_LOCK:
+        cached = _VALIDATION_CACHE.get(key, {}).get(ckey)
+        if cached is not None and cached[0] == sig:
+            return list(cached[1])
+    problems = _validate_generation_uncached(base_dir, generation,
+                                             require_cold)
+    with _CACHE_LOCK:
+        _VALIDATION_CACHE.setdefault(key, {})[ckey] = (sig, list(problems))
+    return problems
+
+
 def restorable_generations(base_dir: str) -> List[int]:
     """Generations that pass :func:`validate_generation`, ascending."""
     return [
@@ -361,3 +708,54 @@ def latest_restorable_generation(base_dir: str) -> Optional[int]:
     (None when no generation qualifies)."""
     gens = restorable_generations(base_dir)
     return gens[-1] if gens else None
+
+
+# ----------------------------------------------------------------------
+# pruning + chunk garbage collection
+# ----------------------------------------------------------------------
+def referenced_chunks(base_dir: str,
+                      generations: Optional[Iterable[int]] = None) -> Set[str]:
+    """Union of chunk digests referenced by the images of
+    ``generations`` (default: every generation present)."""
+    if generations is None:
+        generations = latest_generations(base_dir)
+    refs: Set[str] = set()
+    for g in generations:
+        d = generation_dir(base_dir, g)
+        if not os.path.isdir(d):
+            continue
+        for name in os.listdir(d):
+            if name.startswith("rank_") and name.endswith(".img"):
+                for digest, _ulen in image_chunk_refs(os.path.join(d, name)):
+                    refs.add(digest)
+    return refs
+
+
+def gc_chunks(base_dir: str) -> Tuple[int, int]:
+    """Delete store chunks referenced by no remaining generation;
+    returns (chunks removed, compressed bytes reclaimed)."""
+    store = store_for(base_dir)
+    removed, reclaimed = store.gc(referenced_chunks(base_dir))
+    if removed:
+        invalidate_checkpoint_caches(base_dir)
+    return removed, reclaimed
+
+
+def prune_generations(base_dir: str, keep: int) -> Dict:
+    """Remove all but the newest ``keep`` generations, then collect
+    unreferenced chunks.  Returns a summary dict."""
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    gens = latest_generations(base_dir)
+    doomed = gens[:-keep] if len(gens) > keep else []
+    for g in doomed:
+        shutil.rmtree(generation_dir(base_dir, g), ignore_errors=True)
+    if doomed:
+        invalidate_checkpoint_caches(base_dir)
+    removed, reclaimed = gc_chunks(base_dir)
+    return {
+        "pruned_generations": doomed,
+        "kept_generations": gens[len(doomed):],
+        "chunks_removed": removed,
+        "bytes_reclaimed": reclaimed,
+    }

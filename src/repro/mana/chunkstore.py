@@ -1,0 +1,318 @@
+"""Content-addressed chunk store for format-5 checkpoint images.
+
+The per-rank pickle payload is split into **content-defined chunks**: a
+gear-style rolling hash slides over the bytes and declares a boundary
+wherever the hash's low bits hit a fixed pattern.  Boundaries therefore
+move *with the content* — inserting or resizing a region early in the
+pickle shifts at most the chunks it touches, while every later chunk
+keeps its bytes and hence its sha256.  That is what makes generation
+N+1 cheap: unchanged application state re-produces the same chunk
+digests, and the store already has them.
+
+Each chunk is stored once per job under ``<ckpt_base>/chunks/`` in a
+file named by the sha256 of its *uncompressed* bytes, compressed with
+zlib (level configurable).  Writes are atomic (unique temp name +
+``os.replace``), so two ranks racing to store the same chunk both win:
+the content under a digest is immutable by construction.
+
+Integrity is per-chunk: :meth:`ChunkStore.get` decompresses and
+re-hashes, so a corrupt chunk names itself (digest + context) instead of
+forcing a full-payload re-hash at restart.  :meth:`ChunkStore.verify`
+memoizes successful checks against the chunk file's (size, mtime), so
+repeated generation validation does not re-read healthy chunks.
+
+Garbage collection is reference-based: :func:`repro.mana.checkpoint.
+gc_chunks` scans the refs of every remaining image header and calls
+:meth:`ChunkStore.gc` with the union.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import zlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.util.errors import IntegrityError
+
+try:  # numpy vectorizes the rolling hash; fall back to pure python
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is a hard dep in practice
+    _np = None
+
+#: Chunking parameters (format-5 header records them for forensics).
+CHUNK_MIN = 2048
+CHUNK_MAX = 64 * 1024
+#: Boundary when (hash & CHUNK_MASK) == CHUNK_MASK: 13 bits -> ~8 KiB
+#: average chunk.
+CHUNK_MASK = 0x1FFF
+
+#: Rolling-hash window: the gear hash's state is a weighted sum of the
+#: last ``_WINDOW`` bytes (weights 2^0..2^(W-1)); older bytes shift out.
+_WINDOW = 32
+
+STORE_DIRNAME = "chunks"
+CHUNK_SUFFIX = ".z"
+
+
+def _gear_table():
+    """256 deterministic 64-bit mixing constants.
+
+    Derived from sha256, never a host RNG, so chunk boundaries are
+    bit-identical across processes, machines, and library versions.
+    """
+    vals = [
+        int.from_bytes(
+            hashlib.sha256(b"repro-gear/" + bytes([i])).digest()[:8], "big"
+        )
+        for i in range(256)
+    ]
+    if _np is not None:
+        return _np.array(vals, dtype=_np.uint64)
+    return vals
+
+
+_GEAR = _gear_table()
+
+
+def _boundary_candidates(data: bytes) -> "list[int]":
+    """Positions i where the windowed gear hash over data[i-W+1 .. i]
+    matches the boundary pattern (vectorized when numpy is present)."""
+    n = len(data)
+    if n == 0:
+        return []
+    if _np is not None:
+        arr = _np.frombuffer(data, dtype=_np.uint8)
+        g = _GEAR[arr]
+        h = g.copy()
+        for j in range(1, _WINDOW):
+            # h[i] += gear[b[i-j]] << j  (uint64 arithmetic wraps, which
+            # is exactly the mixing we want)
+            h[j:] += g[: n - j] << _np.uint64(j)
+        mask = _np.uint64(CHUNK_MASK)
+        return _np.nonzero((h & mask) == mask)[0].tolist()
+    # Pure-python fallback: same function, byte at a time.
+    out = []
+    mask = CHUNK_MASK
+    window: List[int] = []
+    h = 0
+    for i, b in enumerate(data):
+        window.append(_GEAR[b])
+        if len(window) > _WINDOW:
+            window.pop(0)
+        h = 0
+        for j, gv in enumerate(reversed(window)):
+            h = (h + (gv << j)) & 0xFFFFFFFFFFFFFFFF
+        if (h & mask) == mask:
+            out.append(i)
+    return out
+
+
+def chunk_spans(
+    data: bytes,
+    min_size: int = CHUNK_MIN,
+    max_size: int = CHUNK_MAX,
+) -> List[Tuple[int, int]]:
+    """Content-defined (start, end) spans covering ``data``.
+
+    Deterministic in the bytes alone.  Boundaries come from the rolling
+    hash; ``min_size``/``max_size`` bound the pathological cases (a
+    boundary pattern repeating every byte, or never appearing).
+    """
+    n = len(data)
+    if n == 0:
+        return []
+    if n <= min_size:
+        return [(0, n)]
+    cands = _boundary_candidates(data)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    import bisect
+
+    while start < n:
+        hard_end = min(start + max_size, n)
+        lo = start + min_size
+        if lo >= n:
+            spans.append((start, n))
+            break
+        # First candidate boundary in [start+min_size, start+max_size).
+        k = bisect.bisect_left(cands, lo)
+        end = hard_end
+        if k < len(cands) and cands[k] < hard_end:
+            end = cands[k] + 1  # boundary byte included in the chunk
+        spans.append((start, end))
+        start = end
+    return spans
+
+
+class ChunkStore:
+    """Per-job content-addressed store of compressed checkpoint chunks."""
+
+    def __init__(self, base_dir: str, compress_level: int = 3):
+        self.base_dir = base_dir
+        self.compress_level = compress_level
+        self._lock = threading.Lock()
+        # digest -> (size, mtime_ns) of the chunk file when it last
+        # passed a full decompress+hash verification.
+        self._verified: Dict[str, Tuple[int, int]] = {}
+
+    @property
+    def dir(self) -> str:
+        return os.path.join(self.base_dir, STORE_DIRNAME)
+
+    def chunk_path(self, digest: str) -> str:
+        return os.path.join(self.dir, digest + CHUNK_SUFFIX)
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def put(self, data: bytes) -> Tuple[str, int, bool]:
+        """Store one chunk; returns (digest, bytes_written, reused).
+
+        ``bytes_written`` is the compressed on-disk size when the chunk
+        was new, 0 when the store already had it (dedup hit).
+        """
+        digest = hashlib.sha256(data).hexdigest()
+        path = self.chunk_path(digest)
+        if os.path.exists(path):
+            return digest, 0, True
+        os.makedirs(self.dir, exist_ok=True)
+        comp = zlib.compress(bytes(data), self.compress_level)
+        # Unique temp name, then an atomic create-if-absent link: when
+        # concurrent rank writers race on the same digest, exactly one
+        # wins the link and charges bytes_written — the losers report a
+        # dedup hit.  (os.replace would let both "succeed" and the
+        # double-counted bytes would make checkpoint durations — hence
+        # recovery traces — scheduling-dependent.)
+        tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+        with open(tmp, "wb") as f:
+            f.write(comp)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return digest, 0, True
+        finally:
+            os.remove(tmp)
+        with self._lock:
+            st = os.stat(path)
+            self._verified[digest] = (st.st_size, st.st_mtime_ns)
+        return digest, len(comp), False
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def get(self, digest: str, context: str = "") -> bytes:
+        """Read, decompress, and integrity-check one chunk."""
+        path = self.chunk_path(digest)
+        where = f"{context}: " if context else ""
+        try:
+            with open(path, "rb") as f:
+                comp = f.read()
+        except FileNotFoundError:
+            raise IntegrityError(
+                f"{where}chunk {digest[:12]}… missing from store "
+                f"{self.dir}"
+            ) from None
+        try:
+            data = zlib.decompress(comp)
+        except zlib.error as exc:
+            raise IntegrityError(
+                f"{where}chunk {digest[:12]}… corrupt "
+                f"(decompression failed: {exc})"
+            ) from None
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != digest:
+            raise IntegrityError(
+                f"{where}chunk {digest[:12]}… checksum mismatch "
+                f"(bit rot or torn write): sha256 {actual[:12]}…"
+            )
+        with self._lock:
+            st = os.stat(path)
+            self._verified[digest] = (st.st_size, st.st_mtime_ns)
+        return data
+
+    def verify(self, digest: str, context: str = "") -> None:
+        """Like :meth:`get` but memoized: a chunk whose file stat is
+        unchanged since its last successful verification is trusted."""
+        path = self.chunk_path(digest)
+        try:
+            st = os.stat(path)
+        except FileNotFoundError:
+            raise IntegrityError(
+                f"{context + ': ' if context else ''}chunk "
+                f"{digest[:12]}… missing from store {self.dir}"
+            ) from None
+        with self._lock:
+            if self._verified.get(digest) == (st.st_size, st.st_mtime_ns):
+                return
+        self.get(digest, context)
+
+    def contains(self, digest: str) -> bool:
+        return os.path.exists(self.chunk_path(digest))
+
+    # ------------------------------------------------------------------
+    # accounting / garbage collection
+    # ------------------------------------------------------------------
+    def digests(self) -> Set[str]:
+        """Digests of every chunk currently on disk."""
+        if not os.path.isdir(self.dir):
+            return set()
+        out = set()
+        for name in os.listdir(self.dir):
+            if name.endswith(CHUNK_SUFFIX) and not name.endswith(".tmp"):
+                out.add(name[: -len(CHUNK_SUFFIX)])
+        return out
+
+    def stored_bytes(self) -> int:
+        if not os.path.isdir(self.dir):
+            return 0
+        total = 0
+        with os.scandir(self.dir) as it:
+            for e in it:
+                if e.name.endswith(CHUNK_SUFFIX):
+                    total += e.stat().st_size
+        return total
+
+    def gc(self, referenced: Iterable[str]) -> Tuple[int, int]:
+        """Delete chunks not in ``referenced``; returns (removed count,
+        reclaimed compressed bytes)."""
+        keep = set(referenced)
+        removed = 0
+        reclaimed = 0
+        for digest in self.digests() - keep:
+            path = self.chunk_path(digest)
+            try:
+                reclaimed += os.path.getsize(path)
+                os.remove(path)
+                removed += 1
+            except OSError:
+                continue
+            with self._lock:
+                self._verified.pop(digest, None)
+        return removed, reclaimed
+
+
+# ----------------------------------------------------------------------
+# shared per-directory instances
+# ----------------------------------------------------------------------
+_STORES: Dict[str, ChunkStore] = {}
+_STORES_LOCK = threading.Lock()
+
+
+def store_for(base_dir: str,
+              compress_level: Optional[int] = None) -> ChunkStore:
+    """The (process-wide) store for a checkpoint base directory.
+
+    Sharing one instance per directory lets the verification memo span
+    the coordinator, the restart path, and generation validation.
+    """
+    key = os.path.abspath(base_dir)
+    with _STORES_LOCK:
+        store = _STORES.get(key)
+        if store is None:
+            store = ChunkStore(base_dir)
+            _STORES[key] = store
+        if compress_level is not None:
+            store.compress_level = compress_level
+        return store

@@ -43,7 +43,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.simtime.cost import FilesystemProfile, checkpoint_time
+from repro.simtime.cost import (
+    CheckpointCostModel,
+    FilesystemProfile,
+    checkpoint_time,
+)
 from repro.util.errors import CheckpointError, CheckpointRoundAborted
 
 
@@ -178,6 +182,10 @@ class CheckpointCoordinator:
         loop_lag_window: int = 4,
         phase_timeout: float = 300.0,
         round_retries: int = 2,
+        chunk_store=None,
+        ckpt_cost: Optional[CheckpointCostModel] = None,
+        save_workers: int = 0,
+        keep_generations: Optional[int] = None,
     ):
         self.nranks = nranks
         self.ckpt_dir = ckpt_dir
@@ -186,6 +194,20 @@ class CheckpointCoordinator:
         self.phase_timeout = phase_timeout
         self.round_retries = round_retries
         self.generation = 0
+
+        # Format-5 incremental pipeline (all None/0 -> pure format 4).
+        # chunk_store: repro.mana.chunkstore.ChunkStore for this job's
+        # ckpt_dir; ckpt_cost charges virtual time from byte counts;
+        # save_workers > 1 fans per-rank encodes out to a TaskPool;
+        # keep_generations prunes + GCs after each completed round.
+        self.chunk_store = chunk_store
+        self.ckpt_cost = ckpt_cost or CheckpointCostModel()
+        self.save_workers = save_workers
+        self.keep_generations = keep_generations
+        self._save_pool = None
+        self._save_pool_lock = threading.Lock()
+        #: Dedup summary of the most recent completed round (or None).
+        self.last_dedup: Optional[Dict] = None
 
         self._lock = threading.Lock()
         self._intent: Optional[CheckpointTicket] = None
@@ -222,6 +244,8 @@ class CheckpointCoordinator:
         # Per-checkpoint scratch (filled by ranks, read by gate actions).
         self._rank_clocks: Dict[int, float] = {}
         self._rank_bytes: Dict[int, int] = {}
+        # Per-rank format-5 save statistics (chunks written/reused etc.).
+        self._rank_savestats: Dict[int, Dict] = {}
         self._ckpt_start_time = 0.0
         self._ckpt_duration = 0.0
 
@@ -288,6 +312,7 @@ class CheckpointCoordinator:
         self._loop_name = None
         self._rank_clocks.clear()
         self._rank_bytes.clear()
+        self._rank_savestats.clear()
         self._round_attempt = 0
         self._retries_left = self.round_retries
         self._intent = ticket
@@ -534,6 +559,7 @@ class CheckpointCoordinator:
             })
             self._rank_clocks.clear()
             self._rank_bytes.clear()
+            self._rank_savestats.clear()
             self._phase = "idle"
             if retrying:
                 self._retries_left -= 1
@@ -584,14 +610,51 @@ class CheckpointCoordinator:
         self._g_drained.wait(rank, timeout=self.phase_timeout)
         self._check_attempt(attempt)
 
-    def saved(self, rank: int, image_bytes: int, attempt: int = 0) -> None:
+    def saved(self, rank: int, image_bytes: int, attempt: int = 0,
+              stats: Optional[Dict] = None) -> None:
+        """``image_bytes`` stays the rank's *logical* upper-half size
+        (what Table 3 models); format-5 ``stats`` carry the physical
+        write accounting (chunks written/reused, bytes written) that the
+        cost model and the dedup report consume."""
         self._check_attempt(attempt)
         with self._lock:
             self._raise_if_aborted()
             self._rank_bytes[rank] = image_bytes
+            if stats is not None:
+                self._rank_savestats[rank] = stats
             self._phase = "save"
         self._g_saved.wait(rank, timeout=self.phase_timeout)
         self._check_attempt(attempt)
+
+    # ------------------------------------------------------------------
+    # parallel save fan-out
+    # ------------------------------------------------------------------
+    def run_save(self, fn: Callable[[], object]):
+        """Run one rank's encode+write, on the save worker pool when
+        ``save_workers > 1`` (lazily created, reused across rounds),
+        inline otherwise.  Always *blocks* until the work is done and
+        re-raises its exception in the calling rank thread — injected
+        faults keep their per-rank crash semantics, and virtual time is
+        charged analytically by :meth:`_on_saved`, so pooling changes
+        wall-clock only, never the simulation."""
+        if self.save_workers <= 1:
+            return fn()
+        pool = self._save_pool
+        if pool is None:
+            with self._save_pool_lock:
+                pool = self._save_pool
+                if pool is None:
+                    from repro.harness.parallel import TaskPool
+
+                    pool = TaskPool(self.save_workers, name="ckpt-save")
+                    self._save_pool = pool
+        return pool.submit(fn).result()
+
+    def _shutdown_save_pool(self) -> None:
+        with self._save_pool_lock:
+            pool, self._save_pool = self._save_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def resumed(self, rank: int = 0, attempt: int = 0) -> None:
         self._phase = "resume"
@@ -629,9 +692,41 @@ class CheckpointCoordinator:
     def _on_saved(self) -> None:
         sizes = list(self._rank_bytes.values())
         mean = sum(sizes) / len(sizes) if sizes else 0
-        self._ckpt_duration = checkpoint_time(
-            self.fs_profile, self.nranks, int(mean)
-        )
+        stats = dict(self._rank_savestats)
+        dedup = None
+        if stats and len(stats) == len(sizes):
+            # Format-5 round: charge the incremental pipeline's analytic
+            # cost.  The written fraction measured on the real pickle
+            # bytes scales the *logical* (simulated) payload, so proxy
+            # apps with simulated_state_bytes see proportional savings.
+            payload = sum(s["payload_bytes"] for s in stats.values())
+            written = sum(s["bytes_written"] for s in stats.values())
+            frac = written / payload if payload else 1.0
+            written_logical = int(mean * min(1.0, frac))
+            self._ckpt_duration = self.ckpt_cost.save_time(
+                self.fs_profile, self.nranks, int(mean), written_logical
+            )
+            dedup = {
+                "format": 5,
+                "chunks_total": sum(
+                    s["chunks_total"] for s in stats.values()
+                ),
+                "chunks_written": sum(
+                    s["chunks_written"] for s in stats.values()
+                ),
+                "chunks_reused": sum(
+                    s["chunks_reused"] for s in stats.values()
+                ),
+                "bytes_written": written,
+                "payload_bytes": payload,
+                "written_fraction": round(frac, 6),
+            }
+        else:
+            # Format-4 round: the monolithic Table 3 cost.
+            self._ckpt_duration = checkpoint_time(
+                self.fs_profile, self.nranks, int(mean)
+            )
+        self.last_dedup = dedup
         t = self._intent
         if t is not None:
             t.result.update(
@@ -650,6 +745,8 @@ class CheckpointCoordinator:
                     "loop_target": self._loop_target,
                 }
             )
+            if dedup is not None:
+                t.result["dedup"] = dedup
 
     def _on_resumed(self) -> None:
         with self._lock:
@@ -733,6 +830,7 @@ class CheckpointCoordinator:
                         f"checkpoint cancelled: {reason}"
                     )
                 t._done.set()
+        self._shutdown_save_pool()
 
     # ------------------------------------------------------------------
     # failure handling
@@ -759,6 +857,7 @@ class CheckpointCoordinator:
         waker = self.waker
         if waker is not None:
             waker()
+        self._shutdown_save_pool()
 
     def _raise_if_aborted(self) -> None:
         if self._aborted is not None:

@@ -216,6 +216,9 @@ class LegacyVirtualIdMaps:
         }
         state["_creation_seq"] = next(self._creation_seq)
         state["clock"] = None
+        # Volatile instrumentation stays out of the image (its value is
+        # scheduling-dependent; see VirtualIdTable.__getstate__).
+        state["lookup_count"] = 0
         return state
 
     def __setstate__(self, state):

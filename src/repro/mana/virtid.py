@@ -435,6 +435,13 @@ class VirtualIdTable:
         # brand-new lower half with all-new physical ids.
         state.pop("_fast", None)
         state.pop("_physcache", None)
+        # Volatile instrumentation never enters the image: poll-loop
+        # iteration counts are wall-clock-scheduling-dependent, and any
+        # such byte in the payload would make format-5 chunk digests —
+        # and hence checkpoint durations — nondeterministic.
+        state["lookup_count"] = 0
+        state["cache_hits"] = 0
+        state["cache_epoch"] = 0
         return state
 
     def __setstate__(self, state):

@@ -1536,8 +1536,8 @@ class ManaRank:
             )
         coord.drained(self.rank, attempt)
 
-        nbytes = self._write_image(ticket)
-        coord.saved(self.rank, nbytes, attempt)
+        nbytes, savestats = self._write_image(ticket)
+        coord.saved(self.rank, nbytes, attempt, stats=savestats)
 
         # Charge the checkpoint's cost to virtual time (Table 3 model).
         start, duration = coord.checkpoint_timing()
@@ -1554,7 +1554,10 @@ class ManaRank:
                 cold_restartable=(ticket.kind == CheckpointKind.LOOP),
                 loop_target=coord.loop_target(),
                 extra={"vid_design": self.vids.design_name},
+                dedup=coord.last_dedup,
             )
+            if coord.keep_generations:
+                ckpt.prune_generations(self.ckpt_dir, coord.keep_generations)
 
         if ticket.mode == CheckpointMode.RELAUNCH:
             self._relaunch_lower()
@@ -1573,7 +1576,17 @@ class ManaRank:
         if ticket.mode == CheckpointMode.EXIT:
             raise JobPreempted(ticket.generation)
 
-    def _write_image(self, ticket) -> int:
+    def _write_image(self, ticket):
+        """Serialize and persist this rank's image; returns
+        ``(logical_bytes, savestats_or_None)``.
+
+        With a chunk store configured the write goes through the format-5
+        incremental path (chunked, deduped, compressed) on the
+        coordinator's save worker pool; otherwise the monolithic format-4
+        path.  ``logical_bytes`` is always the logical upper-half size —
+        the quantity Table 3's filesystem model is calibrated against —
+        never the post-dedup physical bytes.
+        """
         loops = dict(self._ctx._loops) if self._ctx is not None else {}
         image = ckpt.CheckpointImage(
             rank=self.rank,
@@ -1591,13 +1604,24 @@ class ManaRank:
             epoch=self.epoch,
         )
         path = ckpt.rank_image_path(self.ckpt_dir, ticket.generation, self.rank)
-        nbytes = ckpt.save_image(path, image, injector=self.injector,
-                                 vtime=self.clock.now)
+        coord = self.coordinator
+        savestats = None
+        if coord.chunk_store is not None:
+            savestats = coord.run_save(
+                lambda: ckpt.save_chunked_image(
+                    path, image, coord.chunk_store,
+                    injector=self.injector, vtime=self.clock.now,
+                )
+            )
+            nbytes = savestats["payload_bytes"] + savestats["file_bytes"]
+        else:
+            nbytes = ckpt.save_image(path, image, injector=self.injector,
+                                     vtime=self.clock.now)
         # Proxy applications hold a scaled-down working set; they declare
         # the full-size resident bytes the real application would have
         # checkpointed (Table 3 image sizes).  Accounting — not storage.
         extra = getattr(self._app, "simulated_state_bytes", 0) or 0
-        return nbytes + int(extra)
+        return nbytes + int(extra), savestats
 
     def _relaunch_lower(self) -> None:
         """Discard the lower half and rebuild it — the restart path of

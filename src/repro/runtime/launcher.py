@@ -69,6 +69,13 @@ class JobConfig:
     # Coordinator hardening knobs (None/default = coordinator defaults).
     ckpt_phase_timeout: Optional[float] = None
     ckpt_round_retries: int = 2
+    # Checkpoint image format: 5 = incremental chunked/deduped/compressed
+    # (the default pipeline); 4 = monolithic pickle (the legacy writer;
+    # old images stay loadable regardless).
+    ckpt_format: int = 5
+    ckpt_compress_level: int = 3     # zlib level for format-5 chunks
+    ckpt_save_workers: int = 0       # >1 pools per-rank encodes/writes
+    ckpt_keep_generations: Optional[int] = None  # prune + GC after saves
 
     def resolved_ckpt_dir(self) -> str:
         if self.ckpt_dir is None:
@@ -163,6 +170,14 @@ class Job:
             self.fabric.injector = self.injector
         self.coordinator: Optional[CheckpointCoordinator] = None
         if config.mana:
+            store = None
+            if config.ckpt_format >= 5:
+                from repro.mana.chunkstore import store_for
+
+                store = store_for(
+                    config.resolved_ckpt_dir(),
+                    compress_level=config.ckpt_compress_level,
+                )
             self.coordinator = CheckpointCoordinator(
                 config.nranks,
                 config.resolved_ckpt_dir(),
@@ -173,6 +188,9 @@ class Job:
                     if config.ckpt_phase_timeout is not None else 300.0
                 ),
                 round_retries=config.ckpt_round_retries,
+                chunk_store=store,
+                save_workers=config.ckpt_save_workers,
+                keep_generations=config.ckpt_keep_generations,
             )
             self.coordinator.injector = self.injector
             if config.ckpt_interval is not None:
@@ -503,6 +521,10 @@ class Launcher:
             faults=self.config.faults,
             ckpt_phase_timeout=self.config.ckpt_phase_timeout,
             ckpt_round_retries=self.config.ckpt_round_retries,
+            ckpt_format=self.config.ckpt_format,
+            ckpt_compress_level=self.config.ckpt_compress_level,
+            ckpt_save_workers=self.config.ckpt_save_workers,
+            ckpt_keep_generations=self.config.ckpt_keep_generations,
         )
         job = Job(cfg, images=images)
         if job.coordinator is not None:

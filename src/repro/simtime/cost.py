@@ -198,6 +198,58 @@ def checkpoint_time(
     return fs.fixed_overhead + max(agg_time, rank_time)
 
 
+@dataclass(frozen=True)
+class CheckpointCostModel:
+    """Virtual-time model of the format-5 incremental save pipeline.
+
+    Format 4 pays the full Table 3 I/O cost every generation
+    (:func:`checkpoint_time`).  Format 5 splits the cost into the parts
+    that scale with the *logical* payload (chunking + hashing: every
+    byte is still scanned) and the parts that scale with the bytes
+    *actually written* (compression + filesystem I/O, which dedup
+    shrinks).  All terms are analytic functions of byte counts — never
+    wall-clock — so recovery traces stay bit-identical across runs and
+    hosts regardless of worker-pool scheduling.
+
+    ``save_time`` mirrors :func:`checkpoint_time`'s shape: a fixed
+    coordinator overhead plus the max of aggregate- and per-rank-bound
+    I/O, but on the written (post-dedup) bytes, plus scan+compress terms.
+    """
+
+    #: Rolling hash + sha256 over every logical payload byte.
+    hash_bandwidth: float = 2e9
+    #: zlib over the bytes that actually get stored.
+    compress_bandwidth: float = 450e6
+
+    def save_time(
+        self,
+        fs: FilesystemProfile,
+        nranks: int,
+        logical_per_rank: int,
+        written_per_rank: int,
+    ) -> float:
+        scan = logical_per_rank / self.hash_bandwidth
+        compress = written_per_rank / self.compress_bandwidth
+        total_written = nranks * written_per_rank
+        io = max(
+            total_written / fs.aggregate_bandwidth,
+            written_per_rank / fs.per_rank_bandwidth,
+        )
+        return fs.fixed_overhead + scan + compress + io
+
+    def restore_time(
+        self,
+        fs: FilesystemProfile,
+        nranks: int,
+        logical_per_rank: int,
+    ) -> float:
+        """Restore always reads the full logical payload back (chunk
+        reads + decompress + per-chunk verify)."""
+        return checkpoint_time(fs, nranks, logical_per_rank) + (
+            logical_per_rank / self.hash_bandwidth
+        )
+
+
 def platform_table() -> Dict[str, CostModel]:
     """Named platforms used by the harness."""
     return {

@@ -75,6 +75,26 @@ def test_faults_single_scenario(capsys):
     assert "self-healed" in out
 
 
+def test_faults_chunk_corrupt_prints_dedup(capsys):
+    assert main(["faults", "chunk-corrupt"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok ] chunk-corrupt" in out
+    assert "chunks written" in out and "reused" in out
+
+
+def test_ckpt_smoke(capsys):
+    assert main(["ckpt-smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "[ok ] bytes_dedup_factor" in out
+    assert "within tolerance" in out
+
+
+def test_ckpt_smoke_missing_baseline(tmp_path, capsys):
+    rc = main(["ckpt-smoke", "--baseline", str(tmp_path / "nope.json")])
+    assert rc == 2
+    assert "no baseline" in capsys.readouterr().out
+
+
 def test_fault_smoke(capsys):
     assert main(["fault-smoke"]) == 0
     out = capsys.readouterr().out

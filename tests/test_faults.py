@@ -303,6 +303,26 @@ class TestScenarioSweep:
         aborts = [e for e in out["events"] if e["event"] == "round-abort"]
         assert aborts and aborts[0]["retrying"]
 
+    def test_chunk_corrupt_self_heals(self):
+        """Bit rot in one format-5 store chunk: the supervisor must fall
+        back to the intact prior generation and finish correctly."""
+        from repro.faults.scenarios import scenario_chunk_corrupt
+
+        out = scenario_chunk_corrupt(seed=7)
+        assert out["ok"], out
+        restored = [e["generation"] for e in out["events"]
+                    if e["event"] == "restart"]
+        assert restored == [1]  # gen 2's chunk is rotten, gen 1 intact
+        fired = {e["fault"] for e in out["faults_fired"]}
+        assert "corrupt-chunk" in fired
+        chunk_ev = next(e for e in out["faults_fired"]
+                        if e["fault"] == "corrupt-chunk")
+        assert len(chunk_ev["chunk"]) == 12  # names the rotten chunk
+        # Manifests carry per-generation dedup stats for diagnostics.
+        assert out["dedup"] and all(
+            "chunks_written" in d for d in out["dedup"].values()
+        )
+
     def test_recovery_trace_is_deterministic(self):
         from repro.faults.scenarios import fault_smoke, recovery_fingerprint
 
