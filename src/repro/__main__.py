@@ -154,26 +154,47 @@ def _cmd_bench_smoke(args) -> int:
     return 0
 
 
-def _cmd_ckpt_bench(args) -> int:
-    from repro.harness.bench import run_ckpt_bench
-
-    out = run_ckpt_bench(out_path=args.out, payload_mb=args.payload_mb,
-                         nranks=args.ranks)
-    b = out["ckpt"]
+def _print_ckpt_table(b) -> None:
     print(f"checkpoint pipeline (format 5): {b['nranks']} ranks x "
           f"{b['payload_mb']:.1f} MB, compress level "
-          f"{b['compress_level']}")
-    for label, key in (("cold save", "cold"),
-                       ("warm save (identical)", "warm_identical"),
-                       ("warm save (2% mutated)", "warm_mutated")):
+          f"{b['compress_level']}, {b['save_workers']} save workers")
+    rows = [("cold save", "cold"),
+            ("warm save (identical)", "warm_identical"),
+            ("warm save (2% mutated)", "warm_mutated")]
+    if b.get("cold_pooled"):
+        rows.append(("cold save (pooled)", "cold_pooled"))
+    for label, key in rows:
         s = b[key]
         print(f"  {label:24} {s['mb_per_s']:8.1f} MB/s  "
               f"chunks {s['chunks_written']}/{s['chunks_total']} written "
               f"({s['chunks_reused']} reused), "
               f"{s['bytes_written']:,} bytes to disk")
     print(f"  {'restore':24} {b['restore']['mb_per_s']:8.1f} MB/s")
+    a = b["async_save"]
+    print(f"  async save: ranks blocked {a['snapshot_seconds']*1000:.1f} ms "
+          f"(snapshot), drain {a['drain_seconds']*1000:.1f} ms hidden "
+          f"behind compute ({a['compute_iters_during_drain']} compute "
+          f"iterations overlapped)")
+    print(f"  vs format 4: sync warm {b['warm_vs_format4_wallclock']:.2f}x, "
+          f"async blocked {b['blocked_vs_format4_wallclock']:.2f}x "
+          f"wall-clock")
     print(f"  dedup factor: {b['bytes_dedup_factor']:.1f}x fewer bytes "
           f"(identical), {b['mutated_dedup_factor']:.1f}x (mutated)")
+
+
+def _cmd_ckpt_bench(args) -> int:
+    from repro.harness.bench import run_ckpt_bench
+
+    levels = None
+    if args.compress_level:
+        levels = [int(v) for v in args.compress_level.split(",") if v]
+    out = run_ckpt_bench(out_path=args.out, payload_mb=args.payload_mb,
+                         nranks=args.ranks, compress_levels=levels)
+    _print_ckpt_table(out["ckpt"])
+    for lvl, b in sorted(out.get("compress_level_sweep", {}).items(),
+                         key=lambda kv: int(kv[0])):
+        print(f"-- compress level {lvl} --")
+        _print_ckpt_table(b)
     if args.out:
         print(f"wrote {args.out}")
     return 0
@@ -199,7 +220,9 @@ def _cmd_ckpt_smoke(args) -> int:
               f"(baseline {c['baseline']:,.1f}){slow}")
     if not out["ok"]:
         print(f"ckpt-smoke: checkpoint pipeline regression beyond "
-              f"{out['max_regression']}x tolerance (or dedup factor < 5)")
+              f"{out['max_regression']}x tolerance (or an acceptance "
+              f"bound broken: dedup >= 100x, async blocked <= 2x "
+              f"format 4, sync warm <= 6x format 4)")
         return 1
     print("ckpt-smoke: checkpoint pipeline within tolerance")
     return 0
@@ -353,6 +376,9 @@ def main(argv=None) -> int:
     p.add_argument("--payload-mb", type=float, default=4.0,
                    help="per-rank payload size in MB (default 4.0)")
     p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--compress-level", default=None, metavar="L1,L2,...",
+                   help="comma-separated zlib levels to sweep in addition "
+                        "to the default run (e.g. 1,3,6,9)")
     p.add_argument("--out", default=None,
                    help="write full JSON results to this path")
     p.set_defaults(fn=_cmd_ckpt_bench)
@@ -375,7 +401,8 @@ def main(argv=None) -> int:
     p.add_argument("scenario", nargs="?", default="all",
                    choices=["all", "crash-restore", "self-heal",
                             "disk-full", "truncate-fallback",
-                            "round-abort", "msg-delay", "chunk-corrupt"])
+                            "round-abort", "msg-delay", "chunk-corrupt",
+                            "async-drain-fault"])
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_faults)

@@ -81,11 +81,11 @@ def _arm_triggers(job) -> None:
 
 
 def _config(ckpt_dir: str, seed: int,
-            plan: Optional[FaultPlan]) -> JobConfig:
+            plan: Optional[FaultPlan], **extra) -> JobConfig:
     return JobConfig(
         nranks=NRANKS, impl="mpich", mana=True, seed=seed,
         ckpt_dir=ckpt_dir, loop_lag_window=LAG_WINDOW,
-        deadline=60.0, faults=plan,
+        deadline=60.0, faults=plan, **extra,
     )
 
 
@@ -343,6 +343,50 @@ def scenario_msg_delay(seed: int = 7,
             shutil.rmtree(tmp, ignore_errors=True)
 
 
+def scenario_async_drain_fault(seed: int = 7,
+                               workdir: Optional[str] = None) -> Dict:
+    """A fault during the *background* drain of an asynchronous round
+    (PROTOCOLS.md §11) fails that generation and nothing else: the
+    ranks already resumed at the snapshot barrier, so the job completes
+    with zero restarts and correct checksums, while restartability
+    falls back to the previous durable generation."""
+    from repro.mana.checkpoint import restorable_generations
+
+    plan = FaultPlan(seed=seed).crash_in_checkpoint(
+        rank=1, generation=2, site=SITE_MID_SAVE
+    )
+    tmp = workdir or tempfile.mkdtemp(prefix="repro-faults-")
+    try:
+        cfg = _config(tmp, seed, plan, ckpt_async=True)
+        job = Launcher(cfg).launch(lambda r: SurvivorApp())
+        _arm_triggers(job)
+        res = job.run(60.0)
+        events = list(job.coordinator.round_events)
+        durable = restorable_generations(tmp)
+        out = {
+            "status": res.status,
+            "restarts": 0,
+            "events": events,
+            "checksums": _checksums(res),
+            "baseline": baseline_checksums(seed),
+            "faults_fired": _injector_trace(cfg),
+            "restorable_generations": durable,
+            "runtime": round(res.runtime, 9),
+        }
+        out["ok"] = (
+            res.status == "completed"
+            and any(e["event"] == "async-drain-failed"
+                    and e["generation"] == 2 for e in events)
+            and 2 not in durable
+            and len(durable) >= 1
+            and out["checksums"] == out["baseline"]
+        )
+        return out
+    finally:
+        if workdir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
 SCENARIOS: Dict[str, Callable[..., Dict]] = {
     "crash-restore": scenario_crash_restore,
     "self-heal": scenario_self_heal,
@@ -351,6 +395,7 @@ SCENARIOS: Dict[str, Callable[..., Dict]] = {
     "chunk-corrupt": scenario_chunk_corrupt,
     "round-abort": scenario_round_abort,
     "msg-delay": scenario_msg_delay,
+    "async-drain-fault": scenario_async_drain_fault,
 }
 
 

@@ -114,6 +114,28 @@ class TaskPool:
             raise RuntimeError("TaskPool is shut down")
         return self._pool.submit(fn, *args, **kwargs)
 
+    def gather(self, calls) -> List[object]:
+        """Run ``(fn, *args)`` work items concurrently, returning their
+        results in submission order.
+
+        Every item is allowed to settle before the first exception (if
+        any) is re-raised — a faulting chunk run must not leave sibling
+        runs mid-write when the caller unwinds.
+        """
+        futs = [self.submit(fn, *args) for fn, *args in calls]
+        out: List[object] = []
+        first_exc: Optional[BaseException] = None
+        for f in futs:
+            try:
+                out.append(f.result())
+            except BaseException as exc:  # noqa: BLE001 - settled below
+                if first_exc is None:
+                    first_exc = exc
+                out.append(None)
+        if first_exc is not None:
+            raise first_exc
+        return out
+
     def shutdown(self, wait: bool = True) -> None:
         if not self._closed:
             self._closed = True

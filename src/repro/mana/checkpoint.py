@@ -63,6 +63,7 @@ from repro.mana.chunkstore import (
     ChunkStore,
     STORE_DIRNAME,
     chunk_spans,
+    digest_spans,
     store_for,
 )
 from repro.util.errors import (
@@ -290,9 +291,52 @@ def save_chunked_image(
     store: ChunkStore,
     injector=None,
     vtime: float = 0.0,
+    pool=None,
 ) -> Dict:
     """Write one rank's image in **format 5**: chunks into ``store``,
     a small header-only image file at ``path``.
+
+    Pickles the upper half and delegates to :func:`save_chunked_blob`;
+    see there for the statistics dict and the pool semantics.
+    """
+    blob = _pickle_upper_half(image)
+    return save_chunked_blob(
+        path, image, blob, store, injector=injector, vtime=vtime, pool=pool
+    )
+
+
+#: Pooled chunk runs target this many uncompressed bytes each: small
+#: enough that a 4 MB rank splits into ~16 interleavable work items,
+#: large enough that submit overhead stays under ~1% of the zlib cost.
+_RUN_BYTES = 256 * 1024
+
+
+def _store_chunk_run(store: ChunkStore, view, run) -> Tuple[int, List[str]]:
+    """Compress+store one run of (digest, start, end) items serially;
+    returns (bytes_written, digests new to the store)."""
+    written = 0
+    new_digests: List[str] = []
+    for d, s, e in run:
+        nbytes, reused = store.put_known(d, view[s:e])
+        if not reused:
+            written += nbytes
+            new_digests.append(d)
+    return written, new_digests
+
+
+def save_chunked_blob(
+    path: str,
+    image: CheckpointImage,
+    blob: bytes,
+    store: ChunkStore,
+    injector=None,
+    vtime: float = 0.0,
+    pool=None,
+    pin: bool = False,
+) -> Dict:
+    """Write one rank's **format-5** image from an already-pickled
+    ``blob`` (the async drainer snapshots the pickle at the barrier and
+    encodes it here later).
 
     Returns the save statistics the dedup reporting and the checkpoint
     cost model consume::
@@ -307,34 +351,60 @@ def save_chunked_image(
     generation N+1 of a mostly-unchanged rank writes a few chunks plus
     the reference list.  Faults fire *before* any durable write, so an
     injected crash or disk-full leaves no fresh chunks behind.
+
+    With a ``pool`` (:class:`repro.harness.parallel.TaskPool`), the
+    unique chunks are fanned out in ~256 KiB runs so chunk writes from
+    *all* ranks interleave across the pool's workers — one large rank no
+    longer serializes a save round.  With ``pin``, the chunk digests are
+    refcount-pinned in the store until the image header reaches its
+    final path, keeping a concurrent GC from deleting chunks whose
+    referencing header is not yet visible on disk.
     """
     os.makedirs(os.path.dirname(path), exist_ok=True)
     invalidate_checkpoint_caches(_base_dir_of(path))
-    blob = _pickle_upper_half(image)
     spans = chunk_spans(blob)
     view = memoryview(blob)
-    digests = [
-        hashlib.sha256(view[s:e]).hexdigest() for s, e in spans
-    ]
+    digests = digest_spans(view, spans)
     refs = [[d, e - s] for d, (s, e) in zip(digests, spans)]
     data = _encode_image_v5(image, len(blob), refs, store.compress_level)
     if injector is not None:
         _injection_points(path, data, image, injector, vtime)
-    written = 0
-    new_digests: List[str] = []
     seen: Set[str] = set()
+    todo: List[Tuple[str, int, int]] = []
     for d, (s, e) in zip(digests, spans):
         if d in seen:
             continue  # intra-payload duplicate: one store write at most
         seen.add(d)
-        _, nbytes, reused = store.put(view[s:e])
-        if not reused:
-            written += nbytes
-            new_digests.append(d)
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as f:
-        f.write(data)
-    os.replace(tmp, path)
+        todo.append((d, s, e))
+    if pin:
+        store.pin(seen)
+    try:
+        runs: List[List[Tuple[str, int, int]]] = []
+        run: List[Tuple[str, int, int]] = []
+        size = 0
+        for item in todo:
+            run.append(item)
+            size += item[2] - item[1]
+            if size >= _RUN_BYTES:
+                runs.append(run)
+                run, size = [], 0
+        if run:
+            runs.append(run)
+        if pool is not None and len(runs) > 1:
+            results = pool.gather(
+                [(_store_chunk_run, store, view, r) for r in runs]
+            )
+        else:
+            results = [_store_chunk_run(store, view, r) for r in runs]
+        written = sum(w for w, _ in results)
+        new_digests = [d for _, nd in results for d in nd]
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    finally:
+        if pin:
+            store.unpin(seen)
     if injector is not None:
         injector.after_save(path, image.rank, image.generation)
         injector.after_chunked_save(
@@ -713,6 +783,43 @@ def latest_restorable_generation(base_dir: str) -> Optional[int]:
 # ----------------------------------------------------------------------
 # pruning + chunk garbage collection
 # ----------------------------------------------------------------------
+# base_dir -> {generation: pin refcount}.  A pinned generation is one an
+# async drainer is still materializing: some of its rank images (and the
+# chunks only they reference) may not be on disk yet, so pruning and
+# reference scans must treat it as live instead of racing the drainer.
+_PIN_LOCK = threading.Lock()
+_PINNED_GENS: Dict[str, Dict[int, int]] = {}
+
+
+def pin_generation(base_dir: str, generation: int) -> None:
+    """Mark ``generation`` as in-flight: :func:`prune_generations` will
+    not doom it (nor treat it as satisfying ``keep``) until unpinned."""
+    key = os.path.abspath(base_dir)
+    with _PIN_LOCK:
+        gens = _PINNED_GENS.setdefault(key, {})
+        gens[generation] = gens.get(generation, 0) + 1
+
+
+def unpin_generation(base_dir: str, generation: int) -> None:
+    key = os.path.abspath(base_dir)
+    with _PIN_LOCK:
+        gens = _PINNED_GENS.get(key)
+        if not gens:
+            return
+        c = gens.get(generation, 0) - 1
+        if c <= 0:
+            gens.pop(generation, None)
+            if not gens:
+                _PINNED_GENS.pop(key, None)
+        else:
+            gens[generation] = c
+
+
+def pinned_generations(base_dir: str) -> Set[int]:
+    with _PIN_LOCK:
+        return set(_PINNED_GENS.get(os.path.abspath(base_dir), ()))
+
+
 def referenced_chunks(base_dir: str,
                       generations: Optional[Iterable[int]] = None) -> Set[str]:
     """Union of chunk digests referenced by the images of
@@ -743,11 +850,19 @@ def gc_chunks(base_dir: str) -> Tuple[int, int]:
 
 def prune_generations(base_dir: str, keep: int) -> Dict:
     """Remove all but the newest ``keep`` generations, then collect
-    unreferenced chunks.  Returns a summary dict."""
+    unreferenced chunks.  Returns a summary dict.
+
+    Generations pinned by an in-flight async drain are never doomed and
+    do not count toward ``keep`` — a half-materialized newest generation
+    must not cause the last complete one to be pruned out from under a
+    restart.
+    """
     if keep < 1:
         raise ValueError(f"keep must be >= 1, got {keep}")
     gens = latest_generations(base_dir)
-    doomed = gens[:-keep] if len(gens) > keep else []
+    pinned = pinned_generations(base_dir)
+    prunable = [g for g in gens if g not in pinned]
+    doomed = prunable[:-keep] if len(prunable) > keep else []
     for g in doomed:
         shutil.rmtree(generation_dir(base_dir, g), ignore_errors=True)
     if doomed:
@@ -755,7 +870,7 @@ def prune_generations(base_dir: str, keep: int) -> Dict:
     removed, reclaimed = gc_chunks(base_dir)
     return {
         "pruned_generations": doomed,
-        "kept_generations": gens[len(doomed):],
+        "kept_generations": [g for g in gens if g not in doomed],
         "chunks_removed": removed,
         "bytes_reclaimed": reclaimed,
     }

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import sys
 import threading
 import zlib
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -75,30 +76,126 @@ def _gear_table():
 
 _GEAR = _gear_table()
 
+#: Truncated gear table for the vectorized boundary scan.  The boundary
+#: test only reads the low 13 bits of the windowed hash, a term
+#: ``g << j`` contributes nothing modulo 2**13 once ``j >= 13``, and
+#: wrapping addition commutes with truncation — so the whole scan is
+#: exact in uint16 over the newest 13 window bytes.
+_GEAR16 = (_GEAR & _np.uint64(0xFFFF)).astype(_np.uint16) if _np is not None else None
 
-def _boundary_candidates(data: bytes) -> "list[int]":
+#: Number of window positions that can influence the low 13 bits.
+_EFFECTIVE_WINDOW = 13
+
+if _np is not None:
+    #: Low byte of each gear constant — the uint8 prefilter table.
+    _GEAR8 = (_GEAR & _np.uint64(0xFF)).astype(_np.uint8)
+    #: Pair table: entry ``b0 | b1 << 8`` packs ``g8[b0] | g8[b1] << 8``,
+    #: so on a little-endian host one gather over the uint16 view of the
+    #: payload yields the g8 values of *two* bytes (viewing the packed
+    #: result as uint8 lands them in input order) — half the gather
+    #: count of a byte-at-a-time lookup, and the 128 KiB table stays
+    #: cache-resident.
+    _idx = _np.arange(65536, dtype=_np.uint32)
+    _GEAR8_PAIR = (
+        _GEAR8[_idx & 0xFF].astype(_np.uint16)
+        | (_GEAR8[_idx >> 8].astype(_np.uint16) << _np.uint16(8))
+    )
+    del _idx
+else:  # pragma: no cover - exercised via the pure-python fallback tests
+    _GEAR8 = None
+    _GEAR8_PAIR = None
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _gear8_values(arr):
+    """g8 value per payload byte, two bytes per table lookup when the
+    host is little-endian (one lookup per byte otherwise)."""
+    n = arr.shape[0]
+    if _LITTLE_ENDIAN and n >= 2:
+        even = n & ~1
+        packed = _GEAR8_PAIR[arr[:even].view(_np.uint16)].view(_np.uint8)
+        if not (n & 1):
+            return packed
+        g8 = _np.empty(n, dtype=_np.uint8)
+        g8[:even] = packed
+        g8[n - 1] = _GEAR8[arr[n - 1]]
+        return g8
+    return _GEAR8[arr]
+
+
+def _short_window_boundary(arr, i: int) -> bool:
+    """Exact boundary test for a position whose window is still growing
+    (i < _EFFECTIVE_WINDOW - 1): fewer than 13 bytes contribute."""
+    h = 0
+    for j in range(i + 1):
+        h += int(_GEAR[int(arr[i - j])]) << j
+    return (h & CHUNK_MASK) == CHUNK_MASK
+
+
+def _boundary_candidates(data: bytes):
     """Positions i where the windowed gear hash over data[i-W+1 .. i]
-    matches the boundary pattern (vectorized when numpy is present)."""
+    matches the boundary pattern.
+
+    With numpy, a two-stage scan (sorted int ndarray result):
+
+    1. **uint8 prefilter** — the low 8 bits of the windowed sum depend
+       only on the newest 8 bytes (a term ``g << j`` vanishes mod 2**8
+       for ``j >= 8``), so three uint8 log-doubling passes
+       (``H_2k(i) = H_k(i) + (H_k(i-k) << k)``) compute them for every
+       position at half the memory traffic of a uint16 scan.  The
+       boundary pattern requires those bits to be all-ones — a 1/256
+       filter.
+    2. **exact check at survivors** — the full 13-term uint16 hash is
+       gathered only at prefilter hits (~n/256 positions), then tested
+       against CHUNK_MASK.
+
+    Without numpy, returns a list from the byte-at-a-time fallback;
+    both paths yield identical positions.
+    """
     n = len(data)
     if n == 0:
         return []
     if _np is not None:
         arr = _np.frombuffer(data, dtype=_np.uint8)
-        g = _GEAR[arr]
-        h = g.copy()
-        for j in range(1, _WINDOW):
-            # h[i] += gear[b[i-j]] << j  (uint64 arithmetic wraps, which
-            # is exactly the mixing we want)
-            h[j:] += g[: n - j] << _np.uint64(j)
-        mask = _np.uint64(CHUNK_MASK)
-        return _np.nonzero((h & mask) == mask)[0].tolist()
+        g8 = _gear8_values(arr)                   # H_1 mod 2^8
+        t = _np.empty_like(g8)
+        t[0] = 0
+        _np.left_shift(g8[:-1], 1, out=t[1:])
+        t += g8                                   # H_2
+        h8 = _np.empty_like(g8)
+        h8[:2] = 0
+        _np.left_shift(t[:-2], 2, out=h8[2:])
+        h8 += t                                   # H_4
+        t[:4] = 0
+        _np.left_shift(h8[:-4], 4, out=t[4:])
+        t += h8                                   # H_8 mod 2^8
+        cand = _np.flatnonzero(t == _np.uint8(0xFF))
+        if cand.size == 0:
+            return cand
+        short = cand[cand < _EFFECTIVE_WINDOW - 1]
+        full = cand[cand >= _EFFECTIVE_WINDOW - 1]
+        h16 = _np.zeros(full.shape[0], dtype=_np.uint16)
+        for j in range(_EFFECTIVE_WINDOW):
+            h16 += _GEAR16[arr[full - j]] << _np.uint16(j)
+        mask = _np.uint16(CHUNK_MASK)
+        out = full[(h16 & mask) == mask]
+        if short.size:
+            extra = [
+                int(i) for i in short if _short_window_boundary(arr, int(i))
+            ]
+            if extra:
+                out = _np.concatenate(
+                    [_np.asarray(extra, dtype=out.dtype), out]
+                )
+        return out
     # Pure-python fallback: same function, byte at a time.
     out = []
     mask = CHUNK_MASK
     window: List[int] = []
     h = 0
     for i, b in enumerate(data):
-        window.append(_GEAR[b])
+        window.append(int(_GEAR[b]))
         if len(window) > _WINDOW:
             window.pop(0)
         h = 0
@@ -126,6 +223,7 @@ def chunk_spans(
     if n <= min_size:
         return [(0, n)]
     cands = _boundary_candidates(data)
+    vectorized = _np is not None and isinstance(cands, _np.ndarray)
     spans: List[Tuple[int, int]] = []
     start = 0
     import bisect
@@ -137,13 +235,28 @@ def chunk_spans(
             spans.append((start, n))
             break
         # First candidate boundary in [start+min_size, start+max_size).
-        k = bisect.bisect_left(cands, lo)
+        if vectorized:
+            k = int(_np.searchsorted(cands, lo))
+        else:
+            k = bisect.bisect_left(cands, lo)
         end = hard_end
-        if k < len(cands) and cands[k] < hard_end:
-            end = cands[k] + 1  # boundary byte included in the chunk
+        if k < len(cands) and int(cands[k]) < hard_end:
+            end = int(cands[k]) + 1  # boundary byte included in the chunk
         spans.append((start, end))
         start = end
     return spans
+
+
+def digest_spans(view, spans: List[Tuple[int, int]]) -> List[str]:
+    """sha256 hexdigests for every (start, end) span of ``view``.
+
+    One tight loop over a single memoryview: the format-5 writer hashes
+    all chunk spans in a batch instead of re-slicing inside its store
+    loop, and hashlib releases the GIL for buffers over 2 KiB so rank
+    threads digest concurrently.
+    """
+    sha = hashlib.sha256
+    return [sha(view[s:e]).hexdigest() for s, e in spans]
 
 
 class ChunkStore:
@@ -156,6 +269,10 @@ class ChunkStore:
         # digest -> (size, mtime_ns) of the chunk file when it last
         # passed a full decompress+hash verification.
         self._verified: Dict[str, Tuple[int, int]] = {}
+        # digest -> refcount of in-flight writers (async drains) whose
+        # image headers do not exist on disk yet; gc treats these as
+        # referenced.
+        self._pins: Dict[str, int] = {}
 
     @property
     def dir(self) -> str:
@@ -174,9 +291,16 @@ class ChunkStore:
         was new, 0 when the store already had it (dedup hit).
         """
         digest = hashlib.sha256(data).hexdigest()
+        written, reused = self.put_known(digest, data)
+        return digest, written, reused
+
+    def put_known(self, digest: str, data) -> Tuple[int, bool]:
+        """Store a chunk whose sha256 the caller already computed (the
+        format-5 writer batch-hashes all spans up front); returns
+        (bytes_written, reused)."""
         path = self.chunk_path(digest)
         if os.path.exists(path):
-            return digest, 0, True
+            return 0, True
         os.makedirs(self.dir, exist_ok=True)
         comp = zlib.compress(bytes(data), self.compress_level)
         # Unique temp name, then an atomic create-if-absent link: when
@@ -191,13 +315,13 @@ class ChunkStore:
         try:
             os.link(tmp, path)
         except FileExistsError:
-            return digest, 0, True
+            return 0, True
         finally:
             os.remove(tmp)
         with self._lock:
             st = os.stat(path)
             self._verified[digest] = (st.st_size, st.st_mtime_ns)
-        return digest, len(comp), False
+        return len(comp), False
 
     # ------------------------------------------------------------------
     # read side
@@ -274,10 +398,36 @@ class ChunkStore:
                     total += e.stat().st_size
         return total
 
+    # ------------------------------------------------------------------
+    # pinning (async drains)
+    # ------------------------------------------------------------------
+    def pin(self, digests: Iterable[str]) -> None:
+        """Refcount-protect chunks against :meth:`gc` while an async
+        drain holds them — the window between a chunk landing in the
+        store and the image header that references it reaching disk,
+        during which a reference scan cannot see them."""
+        with self._lock:
+            for d in digests:
+                self._pins[d] = self._pins.get(d, 0) + 1
+
+    def unpin(self, digests: Iterable[str]) -> None:
+        with self._lock:
+            for d in digests:
+                c = self._pins.get(d, 0) - 1
+                if c <= 0:
+                    self._pins.pop(d, None)
+                else:
+                    self._pins[d] = c
+
+    def pinned(self) -> Set[str]:
+        with self._lock:
+            return set(self._pins)
+
     def gc(self, referenced: Iterable[str]) -> Tuple[int, int]:
         """Delete chunks not in ``referenced``; returns (removed count,
-        reclaimed compressed bytes)."""
-        keep = set(referenced)
+        reclaimed compressed bytes).  Pinned chunks (in-flight async
+        drains) are always kept."""
+        keep = set(referenced) | self.pinned()
         removed = 0
         reclaimed = 0
         for digest in self.digests() - keep:

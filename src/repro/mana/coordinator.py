@@ -186,6 +186,7 @@ class CheckpointCoordinator:
         ckpt_cost: Optional[CheckpointCostModel] = None,
         save_workers: int = 0,
         keep_generations: Optional[int] = None,
+        async_save: bool = False,
     ):
         self.nranks = nranks
         self.ckpt_dir = ckpt_dir
@@ -208,6 +209,27 @@ class CheckpointCoordinator:
         self._save_pool_lock = threading.Lock()
         #: Dedup summary of the most recent completed round (or None).
         self.last_dedup: Optional[Dict] = None
+
+        # Asynchronous (snapshot + background drain) saves, format 5
+        # only.  Ranks stage their pickled snapshots at the save barrier
+        # and resume; a single background drainer encodes and writes
+        # them (PROTOCOLS.md §11).
+        self.async_save = async_save
+        self._drainer = None
+        self._drainer_lock = threading.Lock()
+        # rank -> {"path", "image", "blob"} staged this round.
+        self._async_blobs: Dict[int, Dict] = {}
+        # Rank 0's manifest fields, staged alongside its blob (the
+        # drainer writes the manifest — rank 0 must not, or restarts
+        # could see a manifest whose images are still draining).
+        self._async_manifest: Optional[Dict] = None
+        # Set by _on_resumed once the round's ranks pass the resume
+        # gate; the drainer completes the ticket only after it fires.
+        self._async_resume_event: Optional[threading.Event] = None
+        # Modeled timing of the drain in flight: {"generation",
+        # "start_vtime", "logical_mean"} — consumed by the *next*
+        # round's overrun accounting.
+        self._drain_pending: Optional[Dict] = None
 
         self._lock = threading.Lock()
         self._intent: Optional[CheckpointTicket] = None
@@ -560,6 +582,10 @@ class CheckpointCoordinator:
             self._rank_clocks.clear()
             self._rank_bytes.clear()
             self._rank_savestats.clear()
+            self._async_blobs.clear()
+            self._async_manifest = None
+            ev = self._async_resume_event
+            self._async_resume_event = None
             self._phase = "idle"
             if retrying:
                 self._retries_left -= 1
@@ -575,6 +601,10 @@ class CheckpointCoordinator:
                     )
                 t._done.set()
         # Outside the coordinator lock (gate CVs may take it in actions).
+        if ev is not None:
+            # A drain job was already submitted for this round: unblock
+            # the drainer (it completes the ticket idempotently).
+            ev.set()
         for g in self._gates:
             g.release()
         self._notify_intent()
@@ -629,16 +659,12 @@ class CheckpointCoordinator:
     # ------------------------------------------------------------------
     # parallel save fan-out
     # ------------------------------------------------------------------
-    def run_save(self, fn: Callable[[], object]):
-        """Run one rank's encode+write, on the save worker pool when
-        ``save_workers > 1`` (lazily created, reused across rounds),
-        inline otherwise.  Always *blocks* until the work is done and
-        re-raises its exception in the calling rank thread — injected
-        faults keep their per-rank crash semantics, and virtual time is
-        charged analytically by :meth:`_on_saved`, so pooling changes
-        wall-clock only, never the simulation."""
+    def save_pool(self):
+        """The shared chunk-write :class:`TaskPool` (``save_workers >
+        1``), lazily created and reused across rounds; None when
+        pooling is off."""
         if self.save_workers <= 1:
-            return fn()
+            return None
         pool = self._save_pool
         if pool is None:
             with self._save_pool_lock:
@@ -648,13 +674,79 @@ class CheckpointCoordinator:
 
                     pool = TaskPool(self.save_workers, name="ckpt-save")
                     self._save_pool = pool
-        return pool.submit(fn).result()
+        return pool
+
+    def run_save(self, fn: Callable[[object], object]):
+        """Run one rank's encode+write: ``fn`` receives the shared save
+        pool (or None) and is executed in the calling rank thread.
+
+        The writer fans its ~256 KiB chunk runs into the pool, so work
+        items are *chunk runs*, not whole ranks — chunks from every
+        rank interleave across ``save_workers`` and one large rank no
+        longer serializes the round (the old design submitted each
+        rank's entire encode as a single pool item).  Exceptions
+        surface in the calling rank thread — injected faults keep their
+        per-rank crash semantics — and virtual time is charged
+        analytically by :meth:`_on_saved`, so pooling changes
+        wall-clock only, never the simulation."""
+        return fn(self.save_pool())
 
     def _shutdown_save_pool(self) -> None:
         with self._save_pool_lock:
             pool, self._save_pool = self._save_pool, None
         if pool is not None:
             pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # asynchronous saves (snapshot + background drain)
+    # ------------------------------------------------------------------
+    def async_round(self) -> bool:
+        """True when the current round snapshots + drains instead of
+        writing synchronously (needs a chunk store: the drainer writes
+        format 5 only)."""
+        return self.async_save and self.chunk_store is not None
+
+    def stage_async_blob(
+        self, rank: int, path: str, image, blob: bytes,
+        manifest: Optional[Dict] = None,
+    ) -> None:
+        """Stage one rank's pickled snapshot for the background drain.
+        Rank 0 passes the ``manifest`` fields the drainer will write
+        once every image of the generation is durable."""
+        with self._lock:
+            self._async_blobs[rank] = {
+                "path": path, "image": image, "blob": blob,
+            }
+            if manifest is not None:
+                self._async_manifest = manifest
+
+    def _ensure_drainer(self):
+        d = self._drainer
+        if d is None:
+            with self._drainer_lock:
+                d = self._drainer
+                if d is None:
+                    from repro.mana.asyncsave import AsyncSaveDrainer
+
+                    d = AsyncSaveDrainer(self)
+                    self._drainer = d
+        return d
+
+    def drain_async(self, timeout: Optional[float] = None):
+        """Block (wall-clock) until any in-flight background drain has
+        finished; returns the drainer's last-drain summary or None.
+        Virtual time is unaffected — only the *next* checkpoint charges
+        drain overrun."""
+        d = self._drainer
+        if d is None:
+            return None
+        return d.wait_idle(timeout)
+
+    def _shutdown_drainer(self) -> None:
+        with self._drainer_lock:
+            d, self._drainer = self._drainer, None
+        if d is not None:
+            d.shutdown()
 
     def resumed(self, rank: int = 0, attempt: int = 0) -> None:
         self._phase = "resume"
@@ -692,6 +784,9 @@ class CheckpointCoordinator:
     def _on_saved(self) -> None:
         sizes = list(self._rank_bytes.values())
         mean = sum(sizes) / len(sizes) if sizes else 0
+        if self._async_blobs:
+            self._on_saved_async(sizes, mean)
+            return
         stats = dict(self._rank_savestats)
         dedup = None
         if stats and len(stats) == len(sizes):
@@ -748,11 +843,102 @@ class CheckpointCoordinator:
             if dedup is not None:
                 t.result["dedup"] = dedup
 
+    def _on_saved_async(self, sizes: List[int], mean: float) -> None:
+        """Gate action of the save barrier in an **async** round: charge
+        only snapshot + drain-overrun to virtual time, hand the staged
+        blobs to the background drainer, and release the ranks.
+
+        Back-pressure first: at most one drain is ever in flight, so
+        the last-arriving rank blocks (wall-clock only) until the
+        previous generation's drain has settled.  The *overrun* charged
+        to virtual time is analytic — the previous drain's modeled
+        completion (its start vtime + ``drain_time`` over its byte
+        counts) minus this round's start — never a wall-clock
+        measurement, so recovery traces stay deterministic no matter
+        how fast the drainer actually ran.
+        """
+        t = self._intent
+        drainer = self._ensure_drainer()
+        prev = drainer.wait_idle()
+        start = self._ckpt_start_time
+        overrun = 0.0
+        pend = self._drain_pending
+        if (
+            pend is not None
+            and prev is not None
+            and prev.get("generation") == pend["generation"]
+            and prev.get("dedup") is not None
+        ):
+            d = prev["dedup"]
+            payload = d["payload_bytes"]
+            frac = d["bytes_written"] / payload if payload else 1.0
+            written_logical = int(pend["logical_mean"] * min(1.0, frac))
+            drain_t = self.ckpt_cost.drain_time(
+                self.fs_profile, self.nranks,
+                int(pend["logical_mean"]), written_logical,
+            )
+            overrun = max(0.0, pend["start_vtime"] + drain_t - start)
+        snap_t = self.ckpt_cost.snapshot_time(
+            self.fs_profile, self.nranks, int(mean)
+        )
+        self._ckpt_duration = overrun + snap_t
+        self._drain_pending = {
+            "generation": t.generation if t is not None else self.generation,
+            "start_vtime": start + self._ckpt_duration,
+            "logical_mean": mean,
+        }
+        resume_event = threading.Event()
+        self._async_resume_event = resume_event
+        manifest = self._async_manifest
+        self._async_manifest = None
+        if manifest is not None:
+            manifest.setdefault("loop_target", self._loop_target)
+        blobs = dict(self._async_blobs)
+        self._async_blobs = {}
+        if t is not None:
+            t.result.update(
+                {
+                    "generation": t.generation,
+                    "kind": t.kind,
+                    "mode": t.mode,
+                    "bytes_per_rank": sizes,
+                    "mean_bytes_per_rank": mean,
+                    "ckpt_time": self._ckpt_duration,
+                    "mb_per_s_per_rank": (
+                        mean / self._ckpt_duration / 1e6
+                        if self._ckpt_duration > 0
+                        else float("inf")
+                    ),
+                    "loop_target": self._loop_target,
+                    "async": True,
+                    "snapshot_time": snap_t,
+                    "drain_overrun": overrun,
+                }
+            )
+        from repro.mana.asyncsave import DrainJob
+
+        drainer.submit(DrainJob(
+            generation=t.generation if t is not None else self.generation,
+            ticket=t,
+            ranks=blobs,
+            manifest=manifest,
+            resume_event=resume_event,
+            vtime=start,
+            logical_mean=mean,
+        ))
+
     def _on_resumed(self) -> None:
         with self._lock:
             t = self._intent
             self._intent = None
             self._phase = "idle"
+            ev = self._async_resume_event
+            self._async_resume_event = None
+        if ev is not None:
+            # Async round: the ranks are free, but the ticket completes
+            # only when the drainer has made the generation durable.
+            ev.set()
+            return
         if t is not None:
             t._done.set()
 
@@ -830,6 +1016,9 @@ class CheckpointCoordinator:
                         f"checkpoint cancelled: {reason}"
                     )
                 t._done.set()
+        # Finish any in-flight background drain (its generation must be
+        # durable before the job is declared over), then stop the pools.
+        self._shutdown_drainer()
         self._shutdown_save_pool()
 
     # ------------------------------------------------------------------
@@ -857,6 +1046,11 @@ class CheckpointCoordinator:
         waker = self.waker
         if waker is not None:
             waker()
+        # Release a drainer parked on the resume event of a round that
+        # will never resume (it checks _aborted and completes).
+        ev = self._async_resume_event
+        if ev is not None:
+            ev.set()
         self._shutdown_save_pool()
 
     def _raise_if_aborted(self) -> None:

@@ -1544,7 +1544,11 @@ class ManaRank:
         self.clock.merge(start)
         self.clock.advance(duration, "checkpoint")
 
-        if self.rank == 0:
+        if self.rank == 0 and not coord.async_round():
+            # Async rounds: the background drainer writes the manifest
+            # once every image is durable (and prunes afterwards) — a
+            # manifest written here would mark a generation restorable
+            # while its images are still draining.
             ckpt.write_manifest(
                 self.ckpt_dir,
                 ticket.generation,
@@ -1606,11 +1610,33 @@ class ManaRank:
         path = ckpt.rank_image_path(self.ckpt_dir, ticket.generation, self.rank)
         coord = self.coordinator
         savestats = None
-        if coord.chunk_store is not None:
+        if coord.async_round():
+            # Async save: the pickle below IS the snapshot — a cheap,
+            # consistent copy taken while every rank is parked.  The
+            # encode+write moves to the coordinator's background
+            # drainer; this rank resumes computing after the barrier.
+            blob = ckpt._pickle_upper_half(image)
+            manifest = None
+            if self.rank == 0:
+                manifest = {
+                    "nranks": self.fabric.nranks,
+                    "impl": self.impl_name,
+                    "kind": ticket.kind,
+                    "cold_restartable": ticket.kind == CheckpointKind.LOOP,
+                    "extra": {
+                        "vid_design": self.vids.design_name,
+                        "async": True,
+                    },
+                    "keep_generations": coord.keep_generations,
+                }
+            coord.stage_async_blob(self.rank, path, image, blob, manifest)
+            nbytes = len(blob)
+        elif coord.chunk_store is not None:
             savestats = coord.run_save(
-                lambda: ckpt.save_chunked_image(
+                lambda pool: ckpt.save_chunked_image(
                     path, image, coord.chunk_store,
                     injector=self.injector, vtime=self.clock.now,
+                    pool=pool,
                 )
             )
             nbytes = savestats["payload_bytes"] + savestats["file_bytes"]

@@ -74,8 +74,14 @@ class JobConfig:
     # old images stay loadable regardless).
     ckpt_format: int = 5
     ckpt_compress_level: int = 3     # zlib level for format-5 chunks
-    ckpt_save_workers: int = 0       # >1 pools per-rank encodes/writes
+    ckpt_save_workers: int = 0       # >1 pools chunk-run encodes/writes
     ckpt_keep_generations: Optional[int] = None  # prune + GC after saves
+    # Asynchronous saves (format 5 only): ranks snapshot their pickled
+    # state at the barrier and resume; a background drainer encodes and
+    # writes the generation while the application computes
+    # (PROTOCOLS.md §11).  Virtual time is charged snapshot + any
+    # drain-overrun instead of the full save cost.
+    ckpt_async: bool = False
 
     def resolved_ckpt_dir(self) -> str:
         if self.ckpt_dir is None:
@@ -191,6 +197,7 @@ class Job:
                 chunk_store=store,
                 save_workers=config.ckpt_save_workers,
                 keep_generations=config.ckpt_keep_generations,
+                async_save=config.ckpt_async,
             )
             self.coordinator.injector = self.injector
             if config.ckpt_interval is not None:
@@ -525,6 +532,7 @@ class Launcher:
             ckpt_compress_level=self.config.ckpt_compress_level,
             ckpt_save_workers=self.config.ckpt_save_workers,
             ckpt_keep_generations=self.config.ckpt_keep_generations,
+            ckpt_async=self.config.ckpt_async,
         )
         job = Job(cfg, images=images)
         if job.coordinator is not None:

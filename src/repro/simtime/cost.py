@@ -214,12 +214,30 @@ class CheckpointCostModel:
     ``save_time`` mirrors :func:`checkpoint_time`'s shape: a fixed
     coordinator overhead plus the max of aggregate- and per-rank-bound
     I/O, but on the written (post-dedup) bytes, plus scan+compress terms.
+
+    **Asynchronous saves** split the same budget in two.  At the
+    barrier each rank only *snapshots* — a cheap memory copy of its
+    pickled state plus the synchronous share of the coordinator fixed
+    overhead (:meth:`snapshot_time`) — and resumes computing; a
+    background drainer pays the scan+compress+I/O remainder
+    (:meth:`drain_time`).  The invariant
+    ``snapshot_time + drain_time == save_time + logical/snapshot_bw``
+    makes the snapshot copy the *only* extra cost of going async: all
+    other terms are conserved, they just move off the critical path.
+    Both terms stay analytic functions of byte counts, so async virtual
+    time is exactly as deterministic as synchronous virtual time.
     """
 
     #: Rolling hash + sha256 over every logical payload byte.
     hash_bandwidth: float = 2e9
     #: zlib over the bytes that actually get stored.
     compress_bandwidth: float = 450e6
+    #: memcpy of the pickled view taken at the async snapshot barrier.
+    snapshot_bandwidth: float = 8e9
+    #: Share of the filesystem fixed overhead paid synchronously at the
+    #: barrier (quiesce + drain + coordination); the I/O share rides in
+    #: the background drain.
+    snapshot_overhead_fraction: float = 0.4
 
     def save_time(
         self,
@@ -236,6 +254,33 @@ class CheckpointCostModel:
             written_per_rank / fs.per_rank_bandwidth,
         )
         return fs.fixed_overhead + scan + compress + io
+
+    def snapshot_time(
+        self,
+        fs: FilesystemProfile,
+        nranks: int,
+        logical_per_rank: int,
+    ) -> float:
+        """Synchronous cost of an async checkpoint barrier: the ranks
+        copy their pickled state and pay the coordination share of the
+        fixed overhead, then resume computing."""
+        return (
+            fs.fixed_overhead * self.snapshot_overhead_fraction
+            + logical_per_rank / self.snapshot_bandwidth
+        )
+
+    def drain_time(
+        self,
+        fs: FilesystemProfile,
+        nranks: int,
+        logical_per_rank: int,
+        written_per_rank: int,
+    ) -> float:
+        """Background cost of draining one async generation: everything
+        :meth:`save_time` charges that :meth:`snapshot_time` did not."""
+        return self.save_time(
+            fs, nranks, logical_per_rank, written_per_rank
+        ) - fs.fixed_overhead * self.snapshot_overhead_fraction
 
     def restore_time(
         self,

@@ -135,3 +135,99 @@ class TestChunkStore:
         a = store_for(str(tmp_path / "a"))
         assert store_for(str(tmp_path / "a")) is a
         assert store_for(str(tmp_path / "b")) is not a
+
+
+class TestGearEquivalence:
+    """The vectorized boundary scan must match the pure-python rolling
+    hash bit-for-bit — chunk boundaries are a durable on-disk contract
+    (dedup depends on every process cutting identically)."""
+
+    @staticmethod
+    def _pure_candidates(data: bytes):
+        import repro.mana.chunkstore as cs
+
+        saved = cs._np
+        cs._np = None
+        try:
+            return [int(i) for i in cs._boundary_candidates(data)]
+        finally:
+            cs._np = saved
+
+    @staticmethod
+    def _numpy_candidates(data: bytes):
+        import repro.mana.chunkstore as cs
+
+        assert cs._np is not None
+        return [int(i) for i in cs._boundary_candidates(data)]
+
+    @pytest.mark.parametrize(
+        "size", [0, 1, 2, 3, 5, 11, 12, 13, 14, 31, 32, 33, 100, 4096,
+                 65_537]
+    )
+    def test_equivalence_across_sizes(self, size):
+        # Odd/even and sub-window sizes: the numpy path special-cases
+        # partial windows (i < 12) and odd-length pair gathers.
+        data = _payload(size, seed=size + 7)
+        assert self._numpy_candidates(data) == self._pure_candidates(data)
+
+    def test_equivalence_random_payloads(self):
+        for seed in range(40):
+            data = _payload(2048, seed=seed)
+            assert (self._numpy_candidates(data)
+                    == self._pure_candidates(data))
+
+    def test_equivalence_adversarial_patterns(self):
+        for pat in (b"\x00" * 5000, b"\xff" * 5000, bytes(range(256)) * 20,
+                    b"ab" * 2500):
+            assert (self._numpy_candidates(pat)
+                    == self._pure_candidates(pat))
+
+    def test_spans_identical_with_and_without_numpy(self):
+        import repro.mana.chunkstore as cs
+
+        data = _payload(300_000, seed=3)
+        with_np = chunk_spans(data)
+        saved = cs._np
+        cs._np = None
+        try:
+            without_np = chunk_spans(data)
+        finally:
+            cs._np = saved
+        assert with_np == without_np
+
+
+class TestPutKnownAndPins:
+    def test_put_known_matches_put(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        data = _payload(10_000)
+        digest = hashlib.sha256(data).hexdigest()
+        written, reused = store.put_known(digest, data)
+        assert written > 0 and not reused
+        assert store.get(digest) == data
+        written2, reused2 = store.put_known(digest, data)
+        assert reused2 and written2 == 0
+
+    def test_pinned_chunk_survives_gc(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        keep, _, _ = store.put(_payload(10_000, seed=1))
+        inflight, _, _ = store.put(_payload(10_000, seed=2))
+        drop, _, _ = store.put(_payload(10_000, seed=3))
+        store.pin([inflight])
+        removed, _ = store.gc({keep})
+        assert removed == 1
+        assert store.digests() == {keep, inflight}
+        # After the in-flight writer lands its header, the pin drops and
+        # the next gc honours references alone.
+        store.unpin([inflight])
+        store.gc({keep})
+        assert store.digests() == {keep}
+
+    def test_pins_are_refcounted(self, tmp_path):
+        store = ChunkStore(str(tmp_path))
+        d, _, _ = store.put(_payload(5_000))
+        store.pin([d])
+        store.pin([d])
+        store.unpin([d])
+        assert d in store.pinned()
+        store.unpin([d])
+        assert d not in store.pinned()

@@ -249,3 +249,100 @@ class TestPruneAndGC:
         doc = read_manifest(base, 1)
         assert doc["dedup"]["chunks_written"] == agg["chunks_written"]
         assert doc["dedup"]["bytes_written"] == agg["bytes_written"]
+
+
+class TestPipelinedSave:
+    """The chunk-run TaskPool fan-out must be invisible in the output:
+    pipeline-written images are bit-identical to serial ones."""
+
+    def test_pooled_image_bit_identical_to_serial(self, tmp_path):
+        from repro.harness.parallel import TaskPool
+
+        rng = np.random.default_rng(11)
+        app = {"state": rng.integers(0, 256, size=2_000_000,
+                                     dtype=np.uint8)}
+        serial_base = str(tmp_path / "serial")
+        pooled_base = str(tmp_path / "pooled")
+        pool = TaskPool(4, name="t5-save")
+        try:
+            for base, use_pool in ((serial_base, None), (pooled_base, pool)):
+                store = store_for(base)
+                img = make_image(rank=0, generation=1, app=app)
+                save_chunked_image(
+                    rank_image_path(base, 1, 0), img, store, pool=use_pool
+                )
+        finally:
+            pool.shutdown()
+        with open(rank_image_path(serial_base, 1, 0), "rb") as f:
+            serial_bytes = f.read()
+        with open(rank_image_path(pooled_base, 1, 0), "rb") as f:
+            pooled_bytes = f.read()
+        assert serial_bytes == pooled_bytes
+        # Same chunk set on disk, and the pooled image restores.
+        assert (store_for(serial_base).digests()
+                == store_for(pooled_base).digests())
+        restored = load_image(rank_image_path(pooled_base, 1, 0))
+        assert np.array_equal(restored.app["state"], app["state"])
+
+    def test_pooled_save_stats_match_serial(self, tmp_path):
+        from repro.harness.parallel import TaskPool
+
+        rng = np.random.default_rng(12)
+        app = {"state": rng.integers(0, 256, size=1_000_000,
+                                     dtype=np.uint8)}
+        pool = TaskPool(3, name="t5-stats")
+        try:
+            stats = {}
+            for name, use_pool in (("serial", None), ("pooled", pool)):
+                base = str(tmp_path / name)
+                stats[name] = save_chunked_image(
+                    rank_image_path(base, 1, 0),
+                    make_image(rank=0, generation=1, app=app),
+                    store_for(base), pool=use_pool,
+                )
+        finally:
+            pool.shutdown()
+        assert stats["serial"] == stats["pooled"]
+
+
+class TestGenerationPins:
+    def test_pinned_generation_survives_prune(self, tmp_path):
+        from repro.mana.checkpoint import (
+            pin_generation,
+            pinned_generations,
+            unpin_generation,
+        )
+
+        base = str(tmp_path)
+        for gen in (1, 2, 3, 4):
+            save_gen(base, gen)
+        pin_generation(base, 1)
+        try:
+            summary = prune_generations(base, keep=1)
+            # Generation 1 is in-flight: exempt from both the doomed set
+            # and the keep count.
+            assert 1 not in summary["pruned_generations"]
+            assert 1 in summary["kept_generations"]
+            assert 4 in summary["kept_generations"]
+            assert os.path.isdir(generation_dir(base, 1))
+        finally:
+            unpin_generation(base, 1)
+        assert pinned_generations(base) == set()
+        summary = prune_generations(base, keep=1)
+        assert 1 in summary["pruned_generations"]
+        assert summary["kept_generations"] == [4]
+
+    def test_pin_refcounts(self, tmp_path):
+        from repro.mana.checkpoint import (
+            pin_generation,
+            pinned_generations,
+            unpin_generation,
+        )
+
+        base = str(tmp_path)
+        pin_generation(base, 7)
+        pin_generation(base, 7)
+        unpin_generation(base, 7)
+        assert pinned_generations(base) == {7}
+        unpin_generation(base, 7)
+        assert pinned_generations(base) == set()
