@@ -11,6 +11,10 @@ to be.
 This example runs an HPCG-like CG solve, preempts it twice (each
 preemption writes a checkpoint and kills the job), and finishes the work
 in a third session — with bit-identical results to an uninterrupted run.
+A second act replays the story on a *shrinking machine*: the preempting
+workload takes half the nodes, so the job resumes elastically on 4 of
+its 8 ranks, then grows back to 8 when the machine frees up
+(docs/PROTOCOLS.md §12).
 
 Run:  python examples/preemptible_job.py
 """
@@ -19,7 +23,7 @@ import tempfile
 from dataclasses import replace
 
 from repro import JobConfig, Launcher
-from repro.apps import HpcgProxy
+from repro.apps import ElasticHaloApp, HpcgProxy
 
 
 def main() -> None:
@@ -68,6 +72,50 @@ def main() -> None:
 
     assert residuals == ref_residuals, "preemption changed the solve!"
     print("\nthree sessions, two preemptions, identical solve ✓")
+
+    # ======================================================================
+    # Act 2: the preempting workload takes half the machine.  Instead of
+    # waiting for 8 nodes to return, the job resumes elastically on the
+    # 4 ranks left, then grows back to 8 when capacity frees up.
+    # ======================================================================
+    espec = replace(ElasticHaloApp.paper_config(), blocks=12)
+    eref = Launcher(JobConfig(nranks=8, impl="mpich", mana=True)).run(
+        lambda r: ElasticHaloApp(replace(espec, nranks=8))
+    )
+    assert eref.status == "completed", eref.first_error()
+    eref_checksum = eref.apps()[0].checksum
+
+    eckpt = tempfile.mkdtemp(prefix="preemptible-elastic-")
+    ecfg = JobConfig(nranks=8, impl="mpich", mana=True, ckpt_dir=eckpt,
+                     loop_lag_window=2)
+
+    ejob1 = Launcher(ecfg).launch(
+        lambda r: ElasticHaloApp(replace(espec, nranks=8))
+    )
+    et1 = ejob1.checkpoint_at_iteration("main", 2, kind="loop", mode="exit")
+    ejob1.start()
+    einfo1 = et1.wait()
+    ejob1.wait()
+    print(f"\nelastic session 1: PREEMPTED at iteration "
+          f"{einfo1['loop_target']}; the urgent job takes 4 of 8 nodes")
+
+    ejob2 = Launcher(ecfg).elastic_restart(eckpt, new_nranks=4)
+    et2 = ejob2.coordinator.checkpoint_at_iteration("main", 7, kind="loop",
+                                                    mode="exit")
+    ejob2.start()
+    einfo2 = et2.wait()
+    ejob2.wait()
+    print(f"elastic session 2: resumed on 4 ranks, PREEMPTED again at "
+          f"iteration {einfo2['loop_target']}; the machine frees up")
+
+    ejob3 = Launcher(ecfg).elastic_restart(eckpt, new_nranks=8)
+    er3 = ejob3.run()
+    assert er3.status == "completed", er3.first_error()
+    echecksum = er3.apps()[0].checksum
+    assert echecksum == eref_checksum, "elastic preemption changed results!"
+    print(f"elastic session 3: grew back to 8 ranks and completed\n"
+          f"\n8 -> 4 -> 8 ranks across two preemptions, checksum "
+          f"{echecksum!r} == uninterrupted 8-rank run ✓")
 
 
 if __name__ == "__main__":

@@ -7,8 +7,10 @@ Public surface (see README.md for a tour):
   run a simulated MPI application, natively or under MANA;
 * :class:`repro.runtime.MpiApplication` — the application contract;
 * ``job.request_checkpoint(...)`` — transparent checkpoints (continue /
-  relaunch / preempt), and ``Launcher.restart(...)`` — cold restart,
-  optionally under a different MPI implementation;
+  relaunch / preempt), ``Launcher.restart(...)`` — cold restart,
+  optionally under a different MPI implementation — and
+  ``Launcher.elastic_restart(...)`` — restore N-rank checkpoints onto
+  M ranks (docs/PROTOCOLS.md §12);
 * :mod:`repro.apps` — the five proxy applications of Section 6;
 * :mod:`repro.faults` — deterministic fault injection
   (``JobConfig(faults=FaultPlan(...))``) and, with
@@ -28,7 +30,7 @@ from repro.runtime import (
 )
 from repro.faults import FaultPlan, FaultSpec
 from repro.mana.coordinator import CheckpointKind, CheckpointMode
-from repro.util.errors import InjectedFault
+from repro.util.errors import ElasticRestartError, InjectedFault, RestartError
 from repro.util.registry import user_op
 
 __version__ = "1.0.0"
@@ -44,6 +46,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "ElasticRestartError",
+    "RestartError",
     "CheckpointKind",
     "CheckpointMode",
     "user_op",

@@ -5,7 +5,9 @@ Commands
 run        run a proxy application (optionally under MANA, optionally
            preempting it at an iteration)
 restart    cold-restart a job from a checkpoint directory, optionally
-           under a different MPI implementation
+           under a different MPI implementation and/or onto a different
+           rank count (``--ranks N`` repartitions N-rank images
+           elastically)
 report     regenerate one (or all) of the paper's tables/figures
            (``--jobs N`` fans independent cases across N workers)
 bench-smoke  tiny hot-path benchmark vs the checked-in baseline
@@ -18,6 +20,9 @@ faults     seeded fault-injection scenario sweep (crash / corruption /
            self-healing)
 fault-smoke  CI smoke: acceptance scenario twice, asserting the job
            self-heals and the recovery trace is deterministic
+elastic-smoke  CI smoke: shrink (8->4), grow (4->8) and cross-impl
+           elastic restores, each bit-identical to a cold run at the
+           post-restore size, with a deterministic recovery trace
 apps       list the available proxy applications
 impls      list the simulated MPI implementations and their properties
 """
@@ -81,17 +86,25 @@ def _cmd_restart(args) -> int:
 
     cfg = JobConfig(nranks=1, impl="mpich", mana=True,
                     loop_lag_window=args.lag_window)
-    job = Launcher(cfg).restart(
-        args.ckpt_dir, generation=args.generation,
-        impl_override=args.impl,
-    )
+    launcher = Launcher(cfg)
+    if args.ranks is not None:
+        job = launcher.elastic_restart(
+            args.ckpt_dir, new_nranks=args.ranks,
+            generation=args.generation, impl_override=args.impl,
+        )
+    else:
+        job = launcher.restart(
+            args.ckpt_dir, generation=args.generation,
+            impl_override=args.impl,
+        )
     res = job.run()
     print(f"status : {res.status}")
     if res.status == "failed":
         print(res.first_error())
         return 1
     print(f"runtime: {res.runtime:.2f} virtual s "
-          f"(restarted under {job.config.impl})")
+          f"(restarted under {job.config.impl} "
+          f"on {job.config.nranks} ranks)")
     return 0
 
 
@@ -285,6 +298,31 @@ def _cmd_fault_smoke(args) -> int:
     return 0
 
 
+def _cmd_elastic_smoke(args) -> int:
+    from repro.faults.scenarios import elastic_smoke
+
+    out = elastic_smoke(seed=args.seed)
+    for key, label in (("shrink", "shrink 8->4"),
+                       ("grow", "grow 4->8"),
+                       ("migrate", "openmpi 8 -> mpich 4")):
+        run = out[key]
+        match = (run["checksums"] == run["baseline"]["checksums"]
+                 and run["history"] == run["baseline"]["history"])
+        print(f"{label:22}: {'ok' if run['ok'] else 'FAIL'} "
+              f"(status={run['status']}, restarts={run['restarts']}, "
+              f"{run['from_nranks']}->{run['to_nranks']} ranks, "
+              f"{'bit-identical to cold run' if match else 'MISMATCH'})")
+    print(f"{'deterministic':22}: "
+          f"{'ok' if out['deterministic'] else 'FAIL'} "
+          f"(recovery trace identical across two seeded shrinks)")
+    if not out["ok"]:
+        print("elastic-smoke: FAILED")
+        return 1
+    print("elastic-smoke: N->M restores reproduce cold M-rank runs "
+          "bit-identically")
+    return 0
+
+
 def _cmd_apps(_args) -> int:
     from repro.apps import APP_CLASSES, EXAMPI_COMPATIBLE
 
@@ -341,6 +379,9 @@ def main(argv=None) -> int:
     p.add_argument("--impl", default=None,
                    choices=["mpich", "openmpi", "exampi", "craympi"],
                    help="restart under a different MPI implementation")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="elastic restart: repartition the checkpointed "
+                        "upper halves onto this many ranks")
     p.add_argument("--lag-window", type=int, default=4)
     p.set_defaults(fn=_cmd_restart)
 
@@ -402,7 +443,8 @@ def main(argv=None) -> int:
                    choices=["all", "crash-restore", "self-heal",
                             "disk-full", "truncate-fallback",
                             "round-abort", "msg-delay", "chunk-corrupt",
-                            "async-drain-fault"])
+                            "async-drain-fault", "elastic-shrink",
+                            "elastic-grow", "elastic-migrate"])
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(fn=_cmd_faults)
@@ -413,6 +455,13 @@ def main(argv=None) -> int:
     )
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(fn=_cmd_fault_smoke)
+
+    p = sub.add_parser(
+        "elastic-smoke",
+        help="CI smoke: elastic N->M restores vs cold M-rank runs",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=_cmd_elastic_smoke)
 
     p = sub.add_parser("apps", help="list proxy applications")
     p.set_defaults(fn=_cmd_apps)

@@ -12,8 +12,17 @@ function subset; HPCG (allgatherv) and SW4 (cartesian topology +
 alltoallv) do not.
 """
 
-from repro.apps.base import WorkloadSpec, grid_dims, coords_of, rank_of, face_neighbors
+from repro.apps.base import (
+    WorkloadSpec,
+    Partitioner,
+    RepartitionPlan,
+    grid_dims,
+    coords_of,
+    rank_of,
+    face_neighbors,
+)
 from repro.apps.comd import CoMDProxy
+from repro.apps.elastic import ElasticHaloApp
 from repro.apps.lammps_lj import LammpsLJProxy
 from repro.apps.lulesh import LuleshProxy
 from repro.apps.hpcg import HpcgProxy
@@ -36,6 +45,9 @@ EXAMPI_COMPATIBLE = ("comd", "lammps", "lulesh", "gromacs", "vasp")
 
 __all__ = [
     "WorkloadSpec",
+    "Partitioner",
+    "RepartitionPlan",
+    "ElasticHaloApp",
     "grid_dims",
     "coords_of",
     "rank_of",

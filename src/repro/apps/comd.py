@@ -29,6 +29,14 @@ from repro.util.rng import DeterministicRng
 class CoMDProxy(BlockApp):
     name = "comd"
 
+    partition_attrs = ("positions", "velocities")
+    replicated_attrs = ("vec3", "energy_history")
+
+    def post_repartition(self, rank, nranks, plan) -> None:
+        self.dims = grid_dims(nranks)
+        self.halo_pairs = face_neighbors(rank, self.dims, periodic=True)
+        self.n_halo = min(self.spec.halo_bytes // 24, len(self.positions))
+
     @staticmethod
     def paper_config(platform: str = "discovery") -> WorkloadSpec:
         if platform == "perlmutter":

@@ -1,0 +1,115 @@
+"""ElasticHaloApp — the determinism oracle for N→M elastic restart.
+
+The five proxy applications seed their state *per rank*, so an N-rank
+and an M-rank run of the same workload hold different global state and
+can only be compared through conservation laws.  This app is built the
+other way around: a **globally seeded** 1-D periodic stencil whose
+update is elementwise decomposition-independent, so the global field
+after ``b`` blocks is a pure function of ``(seed, b)`` — bit-identical
+no matter how many ranks computed it.
+
+* the field of ``GLOBAL_CELLS`` doubles is drawn once from a global
+  stream; each rank owns the contiguous slice ``Partitioner.bounds``
+  assigns it;
+* per block each rank exchanges one edge cell with each ring neighbor
+  (``MPI_Sendrecv``), applies ``f = 0.998 f + 0.001 (left + right)``
+  element by element (identical FP ops under any slicing), then
+  ``MPI_Allgatherv``s the full field and accumulates
+  ``checksum += sum(field)`` — a numpy sum over the same index-ordered
+  global array on every rank;
+* ``os_noise`` is zero, and the checksum is *replicated* (identical on
+  every rank), so an M-rank elastic restore of an N-rank checkpoint
+  must finish with results bit-identical to a cold M-rank run — the
+  acceptance oracle of the elastic-restart scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import BlockApp, Partitioner, WorkloadSpec
+from repro.util.rng import DeterministicRng
+
+#: Global field size — independent of the rank count by design.
+GLOBAL_CELLS = 240
+
+
+class ElasticHaloApp(BlockApp):
+    name = "elastic-halo"
+
+    partition_attrs = ("field",)
+    replicated_attrs = ("history",)
+    checksum_mode = "replicated"
+
+    @staticmethod
+    def paper_config(platform: str = "discovery") -> WorkloadSpec:
+        return WorkloadSpec(
+            nranks=8,
+            blocks=12,
+            steps_per_block=500,
+            compute_per_block=0.05,
+            halo_bytes=1024,
+            input_label=f"1-D periodic stencil, {GLOBAL_CELLS} cells",
+            simulated_state_bytes=4 * 1024 * 1024,
+            os_noise=0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def init_state(self, ctx) -> None:
+        rng = DeterministicRng(self.spec.seed, "elastic/field")
+        full = rng.array_uniform((GLOBAL_CELLS,), -1.0, 1.0)
+        lo, hi = Partitioner.bounds(GLOBAL_CELLS, ctx.nranks)[ctx.rank]
+        self.field = full[lo:hi].copy()
+        self.history = []
+
+    def block(self, ctx, it: int) -> None:
+        MPI = ctx.MPI
+        world = MPI.COMM_WORLD
+        ctx.compute(self.spec.compute_per_block)
+
+        left = (ctx.rank - 1) % ctx.nranks
+        right = (ctx.rank + 1) % ctx.nranks
+        # Ring edge exchange: my first cell travels left, my last cell
+        # travels right; the ghosts complete the periodic stencil.
+        edge_lo = np.array([self.field[0]])
+        edge_hi = np.array([self.field[-1]])
+        ghost_left = np.zeros(1)   # left neighbor's last cell
+        ghost_right = np.zeros(1)  # right neighbor's first cell
+        MPI.sendrecv(
+            edge_lo, 1, MPI.DOUBLE, left, 40,
+            ghost_right, 1, MPI.DOUBLE, right, 40, world,
+        )
+        MPI.sendrecv(
+            edge_hi, 1, MPI.DOUBLE, right, 41,
+            ghost_left, 1, MPI.DOUBLE, left, 41, world,
+        )
+
+        left_vals = np.concatenate([ghost_left, self.field[:-1]])
+        right_vals = np.concatenate([self.field[1:], ghost_right])
+        # Elementwise: every cell sees exactly its two neighbors, with
+        # the same FP operations under any decomposition.
+        self.field = 0.998 * self.field + 0.001 * (left_vals + right_vals)
+
+        # Global result: allgatherv the full field, sum in index order.
+        counts = [hi - lo for lo, hi in
+                  Partitioner.bounds(GLOBAL_CELLS, ctx.nranks)]
+        displs = [0] * ctx.nranks
+        for r in range(1, ctx.nranks):
+            displs[r] = displs[r - 1] + counts[r - 1]
+        full = np.zeros(GLOBAL_CELLS)
+        MPI.allgatherv(
+            self.field, counts[ctx.rank], MPI.DOUBLE,
+            full, counts, displs, MPI.DOUBLE, world,
+        )
+        self.checksum += float(full.sum())
+        self.history.append(float(full.sum()))
+
+    def validate(self, ctx) -> str:
+        if self.blocks_done != self.spec.blocks:
+            return (
+                f"elastic-halo finished "
+                f"{self.blocks_done}/{self.spec.blocks} blocks"
+            )
+        if len(self.history) != self.spec.blocks:
+            return "elastic-halo history incomplete"
+        return None

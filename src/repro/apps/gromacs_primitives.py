@@ -23,6 +23,12 @@ from repro.util.rng import DeterministicRng
 class GromacsPrimitivesProxy(BlockApp):
     name = "gromacs"
 
+    # MPI primitives only — no decomposition metadata to rebuild, and
+    # the block reads ``self.coords.size`` each time, so the default
+    # repartition is fully sufficient.
+    partition_attrs = ("coords",)
+    replicated_attrs = ("energy_history",)
+
     @staticmethod
     def paper_config(platform: str = "discovery") -> WorkloadSpec:
         return WorkloadSpec(

@@ -26,6 +26,19 @@ from repro.util.rng import DeterministicRng
 class HpcgProxy(BlockApp):
     name = "hpcg"
 
+    partition_attrs = ("x", "r", "p")
+    # ``rr`` and the residual history are allreduce results, identical
+    # on every rank after the first block.
+    replicated_attrs = ("rr", "residual_history")
+
+    def post_repartition(self, rank, nranks, plan) -> None:
+        self.dims = grid_dims(nranks)
+        self.halo_pairs = face_neighbors(rank, self.dims, periodic=False)
+        self.n_local = len(self.x)
+        self.n_halo = min(self.spec.halo_bytes // 8, self.n_local)
+        lengths = [hi - lo for lo, hi in plan.new_bounds]
+        self.row_offsets = np.concatenate([[0], np.cumsum(lengths)])
+
     @staticmethod
     def paper_config(platform: str = "discovery") -> WorkloadSpec:
         return WorkloadSpec(

@@ -28,6 +28,14 @@ from repro.util.rng import DeterministicRng
 class LammpsLJProxy(BlockApp):
     name = "lammps"
 
+    partition_attrs = ("x", "f")
+    replicated_attrs = ("thermo",)
+
+    def post_repartition(self, rank, nranks, plan) -> None:
+        self.dims = grid_dims(nranks)
+        self.halo_pairs = face_neighbors(rank, self.dims, periodic=True)
+        self.n_halo = min(self.spec.halo_bytes // 8, len(self.x))
+
     @staticmethod
     def paper_config(platform: str = "discovery") -> WorkloadSpec:
         nranks = 64 if platform == "perlmutter" else 56

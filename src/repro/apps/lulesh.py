@@ -29,6 +29,17 @@ from repro.util.rng import DeterministicRng
 class LuleshProxy(BlockApp):
     name = "lulesh"
 
+    partition_attrs = ("nodal",)
+    # ``facetype`` (a committed vector type of ``face_elems`` strided
+    # elements) keeps its extent across repartitioning; the smallest
+    # elastic slice (grow to 2x ranks) still holds 2*face_elems rows,
+    # enough for the stride-2 layout.
+    replicated_attrs = ("facetype", "face_elems", "dt", "dt_history")
+
+    def post_repartition(self, rank, nranks, plan) -> None:
+        self.dims = grid_dims(nranks)
+        self.halo_pairs = face_neighbors(rank, self.dims, periodic=False)
+
     @staticmethod
     def paper_config(platform: str = "discovery") -> WorkloadSpec:
         return WorkloadSpec(

@@ -31,6 +31,11 @@ from repro.util.rng import DeterministicRng
 class Sw4Proxy(BlockApp):
     name = "sw4"
 
+    # The cartesian communicator pins the world size: MPI_Cart_create
+    # embeds the 2-D process grid in the topology, and the elastic
+    # protocol refuses to remap cartesian comms (PROTOCOLS.md §12).
+    elastic = False
+
     @staticmethod
     def paper_config(platform: str = "discovery") -> WorkloadSpec:
         nranks = 64 if platform == "perlmutter" else 56

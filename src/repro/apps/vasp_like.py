@@ -34,6 +34,21 @@ class VaspLikeProxy(BlockApp):
     name = "vasp"
     primary_loop = "relax"  # checkpoint triggers target the middle phase
 
+    partition_attrs = ("wavefunction", "positions", "velocities")
+    replicated_attrs = ("scf_energies", "relax_forces", "md_temps")
+
+    def post_repartition(self, rank, nranks, plan) -> None:
+        self.dims = grid_dims(nranks)
+        self.halo_pairs = face_neighbors(rank, self.dims, periodic=True)
+        # Clamp the halo count so every phase's slice (positions rows in
+        # relax, velocity elements in md) fits the repartitioned arrays.
+        self.n_halo = min(
+            self.spec.halo_bytes // 8,
+            self.wavefunction.size,
+            self.positions.shape[0] * 3,
+            self.velocities.size * 4,
+        )
+
     @staticmethod
     def paper_config(platform: str = "discovery") -> WorkloadSpec:
         # Not one of the paper's five benchmark applications (it is the

@@ -387,6 +387,162 @@ def scenario_async_drain_fault(seed: int = 7,
             shutil.rmtree(tmp, ignore_errors=True)
 
 
+# ----------------------------------------------------------------------
+# elastic restart scenarios (PROTOCOLS.md §12)
+# ----------------------------------------------------------------------
+#: Elastic scenarios arm only the first two triggers: with blocks=12 and
+#: lag window 2 the ranks park at 4 and 8 — a crash at iteration 9 falls
+#: back to the generation parked at 8.
+ELASTIC_TRIGGERS = (2, 6)
+
+
+def _arm_elastic_triggers(job) -> None:
+    for it in ELASTIC_TRIGGERS:
+        job.checkpoint_at_iteration("main", it, kind="loop")
+
+
+def _elastic_factory(seed: int, nranks: int):
+    from dataclasses import replace
+
+    from repro.apps.elastic import ElasticHaloApp
+
+    spec = replace(ElasticHaloApp.paper_config(), nranks=nranks, seed=seed)
+    return lambda r: ElasticHaloApp(spec)
+
+
+def _elastic_config(ckpt_dir: str, seed: int, plan: Optional[FaultPlan],
+                    nranks: int, impl: str = "mpich") -> JobConfig:
+    return JobConfig(
+        nranks=nranks, impl=impl, mana=True, seed=seed,
+        ckpt_dir=ckpt_dir, loop_lag_window=LAG_WINDOW,
+        deadline=60.0, faults=plan,
+    )
+
+
+def _elastic_state(res) -> Dict:
+    """App-level results of an ElasticHaloApp run: the replicated
+    checksum and per-block global sums, raw floats (the equivalence
+    oracle is *bit*-identity, so no rounding)."""
+    return {
+        "checksums": [
+            a.checksum if a is not None else None for a in res.apps()
+        ],
+        "history": [
+            list(a.history) if a is not None else None for a in res.apps()
+        ],
+    }
+
+
+def elastic_cold_baseline(seed: int, nranks: int,
+                          impl: str = "mpich") -> Dict:
+    """App results of an uninterrupted ``nranks``-rank ElasticHaloApp
+    run — what an elastic restore onto ``nranks`` ranks must reproduce
+    bit-identically."""
+    tmp = tempfile.mkdtemp(prefix="repro-elastic-base-")
+    try:
+        cfg = _elastic_config(tmp, seed, None, nranks, impl)
+        res = Launcher(cfg).run(_elastic_factory(seed, nranks), 60.0)
+        if res.status != "completed":
+            raise RuntimeError(
+                f"elastic cold baseline failed: {res.first_error()}"
+            )
+        return _elastic_state(res)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _elastic_supervised(seed: int, workdir: Optional[str], *,
+                        from_nranks: int, capacity: int, elastic: str,
+                        impl: str = "mpich",
+                        target_impl: Optional[str] = None) -> Dict:
+    """Crash an ElasticHaloApp run after generation 2 exists, recover
+    elastically onto ``capacity`` ranks, and compare the final app state
+    bit-for-bit against a cold run at the post-restore size."""
+    plan = FaultPlan(seed=seed).crash_at_loop(rank=1, iteration=9)
+    tmp = workdir or tempfile.mkdtemp(prefix="repro-elastic-")
+    own = workdir is None
+    try:
+        cfg = _elastic_config(tmp, seed, plan, from_nranks, impl)
+        policy = RestartPolicy(
+            max_restarts=2, elastic=elastic, capacity=[capacity],
+            target_impl=target_impl,
+        )
+        res = Launcher(cfg, policy).supervise(
+            _elastic_factory(seed, from_nranks), timeout=60.0,
+            on_launch=_arm_elastic_triggers,
+        )
+        state = _elastic_state(res)
+        to_nranks = len(res.ranks)
+        baseline = elastic_cold_baseline(
+            seed, to_nranks, target_impl or impl
+        )
+        restart_events = [e for e in res.recovery_events
+                          if e["event"] == "restart"]
+        out = {
+            "status": res.status,
+            "restarts": res.restarts,
+            "events": res.recovery_events,
+            "checksums": state["checksums"],
+            "history": state["history"],
+            "baseline": baseline,
+            "from_nranks": from_nranks,
+            "to_nranks": to_nranks,
+            "faults_fired": _injector_trace(cfg),
+            "runtime": round(res.runtime, 9),
+        }
+        out["ok"] = (
+            res.status == "completed"
+            and res.restarts == 1
+            and state == baseline
+            and all(e.get("elastic") for e in restart_events)
+            and all("skipped_generations" in e for e in restart_events)
+        )
+        return out
+    finally:
+        if own:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def scenario_elastic_shrink(seed: int = 7,
+                            workdir: Optional[str] = None) -> Dict:
+    """Node loss: an 8-rank job crashes after generation 2; only 4
+    ranks remain.  The supervisor repartitions the 8-rank images onto 4
+    ranks and the finished state is bit-identical to a cold 4-rank
+    run."""
+    out = _elastic_supervised(
+        seed, workdir, from_nranks=8, capacity=4,
+        elastic="shrink_on_node_loss",
+    )
+    out["ok"] = out["ok"] and out["to_nranks"] == 4
+    return out
+
+
+def scenario_elastic_grow(seed: int = 7,
+                          workdir: Optional[str] = None) -> Dict:
+    """Spot capacity returns: a 4-rank job crashes after generation 2
+    and restores onto 8 ranks, bit-identical to a cold 8-rank run."""
+    out = _elastic_supervised(
+        seed, workdir, from_nranks=4, capacity=8,
+        elastic="grow_to_capacity",
+    )
+    out["ok"] = out["ok"] and out["to_nranks"] == 8
+    return out
+
+
+def scenario_elastic_migrate(seed: int = 7,
+                             workdir: Optional[str] = None) -> Dict:
+    """Cross-implementation elastic migration: checkpoint under Open MPI
+    at 8 ranks, crash, restore under MPICH at 4 — resizing and the §9
+    interoperability restart composed in one recovery."""
+    out = _elastic_supervised(
+        seed, workdir, from_nranks=8, capacity=4,
+        elastic="shrink_on_node_loss", impl="openmpi",
+        target_impl="mpich",
+    )
+    out["ok"] = out["ok"] and out["to_nranks"] == 4
+    return out
+
+
 SCENARIOS: Dict[str, Callable[..., Dict]] = {
     "crash-restore": scenario_crash_restore,
     "self-heal": scenario_self_heal,
@@ -396,6 +552,9 @@ SCENARIOS: Dict[str, Callable[..., Dict]] = {
     "round-abort": scenario_round_abort,
     "msg-delay": scenario_msg_delay,
     "async-drain-fault": scenario_async_drain_fault,
+    "elastic-shrink": scenario_elastic_shrink,
+    "elastic-grow": scenario_elastic_grow,
+    "elastic-migrate": scenario_elastic_migrate,
 }
 
 
@@ -439,4 +598,32 @@ def fault_smoke(seed: int = 7) -> Dict:
         "deterministic": deterministic,
         "run": first,
         "rerun": recovery_fingerprint(second),
+    }
+
+
+def elastic_smoke(seed: int = 7) -> Dict:
+    """CI smoke for elastic restart (PROTOCOLS.md §12): one shrink
+    (8→4), one grow (4→8), one cross-implementation migration
+    (Open MPI 8 → MPICH 4), each checked bit-identical against a cold
+    run at the post-restore size; the shrink runs twice to assert the
+    recovery trace is deterministic."""
+    shrink = scenario_elastic_shrink(seed=seed)
+    shrink_again = scenario_elastic_shrink(seed=seed)
+    grow = scenario_elastic_grow(seed=seed)
+    migrate = scenario_elastic_migrate(seed=seed)
+    deterministic = (
+        recovery_fingerprint(shrink) == recovery_fingerprint(shrink_again)
+    )
+    return {
+        "ok": bool(
+            shrink["ok"] and grow["ok"] and migrate["ok"] and deterministic
+        ),
+        "shrink_ok": bool(shrink["ok"]),
+        "grow_ok": bool(grow["ok"]),
+        "migrate_ok": bool(migrate["ok"]),
+        "deterministic": deterministic,
+        "shrink": shrink,
+        "grow": grow,
+        "migrate": migrate,
+        "rerun": recovery_fingerprint(shrink_again),
     }

@@ -534,13 +534,17 @@ def image_chunk_refs(path: str) -> List[List]:
     return header.get("chunks", []) or []
 
 
-def load_image(path: str) -> CheckpointImage:
+def load_image(path: str, expect_nranks: Optional[int] = None) -> CheckpointImage:
     """Load one rank's image (either format), verifying integrity first.
 
     Format 4 verifies the full-payload sha256; format 5 streams the
     payload back chunk by chunk, each chunk verified against its own
     digest — corruption therefore names the chunk index rather than
     just "checksum mismatch somewhere in N hundred MB".
+
+    ``expect_nranks`` fails fast — *before* the expensive unpickle — when
+    the image was written at a different world size, instead of letting
+    the mismatch surface as an obscure replay or membership error later.
     """
     try:
         with open(path, "rb") as f:
@@ -548,6 +552,15 @@ def load_image(path: str) -> CheckpointImage:
     except FileNotFoundError:
         raise RestartError(f"no checkpoint image at {path}") from None
     header = _read_header(path, data)
+    if expect_nranks is not None and header["nranks"] != expect_nranks:
+        raise RestartError(
+            f"{path}: image was checkpointed at nranks="
+            f"{header['nranks']} but the restore expects "
+            f"{expect_nranks} ranks; restore at the original rank count "
+            f"or use elastic restart "
+            f"(Launcher.elastic_restart / `python -m repro restart "
+            f"--ranks N`) to repartition"
+        )
     (hdr_len,) = _LEN.unpack_from(data, len(MAGIC))
     if header["format_version"] == 4:
         _verify_bytes_v4(path, data, header)

@@ -297,6 +297,37 @@ class CheckpointCoordinator:
         self._finalized: Set[int] = set()
         self._ckpt_disabled = False
 
+        # Elastic-restore provenance (PROTOCOLS.md §12, step 4): set by
+        # Launcher.elastic_restart via stamp_elastic; every manifest this
+        # job writes carries it, so checkpoint chains record across
+        # which world sizes / implementations the job has moved.
+        self.elastic_provenance: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # elastic-restore provenance
+    # ------------------------------------------------------------------
+    _ELASTIC_KEYS = (
+        "from_nranks", "to_nranks", "from_impl", "to_impl",
+        "source_generation",
+    )
+
+    def stamp_elastic(self, provenance: Dict) -> None:
+        """Validate and install the elastic-restore provenance stamped
+        into every manifest this coordinator writes from now on."""
+        missing = [k for k in self._ELASTIC_KEYS if k not in provenance]
+        if missing:
+            raise CheckpointError(
+                f"elastic provenance is missing keys {missing}; "
+                f"expected {list(self._ELASTIC_KEYS)}"
+            )
+        if provenance["to_nranks"] != self.nranks:
+            raise CheckpointError(
+                f"elastic provenance claims to_nranks="
+                f"{provenance['to_nranks']} but this coordinator drives "
+                f"{self.nranks} ranks"
+            )
+        self.elastic_provenance = dict(provenance)
+
     # ------------------------------------------------------------------
     # request side
     # ------------------------------------------------------------------

@@ -92,6 +92,42 @@ class DrainBuffer:
         return iter(self._messages)
 
 
+def redistribute_drain_buffers(
+    buffers: dict, rank_map: dict, new_nranks: int
+) -> List[DrainBuffer]:
+    """Reroute checkpointed drain buffers to a new world size
+    (PROTOCOLS.md §12, step 3).
+
+    ``buffers`` maps old rank → its checkpointed :class:`DrainBuffer`;
+    ``rank_map`` is the repartition plan's old rank → unique-inheritor
+    map.  A message drained by old rank ``o`` was addressed to ``o``'s
+    identity, so it moves to ``rank_map[o]``; its sender coordinates are
+    rewritten the same way.  ``src_comm_rank`` equals ``src_world`` on
+    world-sized communicators (comm rank == world rank) and is rewritten
+    with it; on a self communicator it is 0 and stays 0.  Old ranks are
+    visited in ascending order and each buffer in FIFO order, so the
+    non-overtaking order *per sender* survives the merge.
+    """
+    out = [DrainBuffer() for _ in range(new_nranks)]
+    for old_rank in sorted(buffers):
+        for msg in buffers[old_rank]:
+            new_src = rank_map[msg.src_world]
+            out[rank_map[old_rank]].add(
+                DrainedMessage(
+                    comm_vid=msg.comm_vid,
+                    src_world=new_src,
+                    src_comm_rank=(
+                        new_src
+                        if msg.src_comm_rank == msg.src_world
+                        else msg.src_comm_rank
+                    ),
+                    tag=msg.tag,
+                    payload=msg.payload,
+                )
+            )
+    return out
+
+
 def run_drain(mana) -> int:
     """Execute the drain on one rank; returns messages drained.
 

@@ -60,11 +60,12 @@ from repro.mana.records import (
     CommRecord,
     ConstantRecord,
     GroupRecord,
+    RequestRecord,
 )
 from repro.mpi.api import HandleKind
 from repro.mpi.group import ggid_of
 from repro.util.bits import BitField
-from repro.util.errors import InvalidHandleError
+from repro.util.errors import ElasticRestartError, InvalidHandleError
 from repro.util.rng import _stable_hash
 
 VID_LAYOUT = BitField(32, [("kind", 3), ("index", 29)])
@@ -464,3 +465,122 @@ class VirtualIdTable:
             for e in self._entries.values()
             if e.phys is not None
         }
+
+
+# ----------------------------------------------------------------------
+# elastic restart: world-size remap (PROTOCOLS.md §12, step 2)
+# ----------------------------------------------------------------------
+def remap_world(
+    table: VirtualIdTable,
+    *,
+    old_nranks: int,
+    new_nranks: int,
+    old_rank: int,
+    new_rank: int,
+    rank_map: Dict[int, int],
+    merge_tables=(),
+) -> None:
+    """Rewrite ``table`` (checkpointed at ``old_rank`` of an
+    ``old_nranks``-world) for ``new_rank`` of a ``new_nranks``-world.
+
+    Virtual ids are KEPT — the repartitioned application state still
+    holds its old handles, and datatype/op vids are identical across
+    ranks by collective creation order, so only the *records* behind the
+    ids change.  Only two communicator memberships are remappable: the
+    full world (→ the new full world) and this rank's self communicator
+    (→ the new rank's self).  Anything else — sub-communicators,
+    cartesian topologies, pending or persistent requests — pins the old
+    world size and raises :class:`ElasticRestartError`.
+
+    Drain ledgers (``sent_to``/``received_from``) name world ranks.  The
+    seed ``table``'s ledgers are always discarded; ``new_rank``'s
+    ledgers are rebuilt as the sum, rewritten through ``rank_map`` (old
+    rank → its unique inheritor), of the ledgers of ``merge_tables`` —
+    the *original, unmodified* tables of exactly the old ranks whose
+    identity folds into ``new_rank`` (``plan.merged_into(new_rank)``;
+    empty for a grow clone, which inherits no old identity).  Matching
+    is by vid: full-world comm vids are constant-name-hashed, hence
+    identical across ranks.  The seed table may itself appear in
+    ``merge_tables`` — pass a deep copy as ``table`` so the original
+    stays pristine for folding.  Self-comm ledgers are dropped on both
+    sides (self traffic is rank-internal and balanced), so pairwise
+    ``sent_to == received_from`` — the quiesced-checkpoint invariant —
+    is preserved globally.
+    """
+    old_world = tuple(range(old_nranks))
+    new_world = tuple(range(new_nranks))
+
+    def remap_membership(ranks: Tuple[int, ...], what: str) -> Tuple[int, ...]:
+        if ranks == old_world:
+            return new_world
+        if ranks == (old_rank,):
+            return (new_rank,)
+        raise ElasticRestartError(
+            f"rank {old_rank}: {what} with membership {ranks} pins the "
+            f"old world size ({old_nranks} ranks); elastic restore can "
+            f"only remap MPI_COMM_WORLD-sized and self memberships"
+        )
+
+    def remap_ledger(ledger: Dict[int, int]) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for old_peer, n in ledger.items():
+            peer = rank_map[old_peer]
+            out[peer] = out.get(peer, 0) + n
+        return out
+
+    def fold_ledgers(rec: CommRecord, vid: int) -> None:
+        for other in merge_tables:
+            entry = other._entries.get(vid)
+            if entry is None or not isinstance(entry.record, CommRecord):
+                continue
+            if len(entry.record.world_ranks) == 1:
+                continue  # merged rank's self comm: dropped entirely
+            for peer, n in remap_ledger(entry.record.sent_to).items():
+                rec.sent_to[peer] = rec.sent_to.get(peer, 0) + n
+            for peer, n in remap_ledger(entry.record.received_from).items():
+                rec.received_from[peer] = rec.received_from.get(peer, 0) + n
+
+    for entry in list(table.entries()):
+        rec = entry.record
+        if isinstance(rec, CommRecord):
+            if rec.cart is not None:
+                raise ElasticRestartError(
+                    f"rank {old_rank}: communicator {rec.name or entry.vid:#x}"
+                    f" carries a cartesian topology embedding the "
+                    f"{old_nranks}-rank process grid; elastic restore "
+                    f"cannot remap it"
+                )
+            rec.world_ranks = remap_membership(
+                rec.world_ranks, f"communicator {rec.name or hex(entry.vid)}"
+            )
+            if rec.ggid is not None:
+                rec.ggid = ggid_of(rec.world_ranks)
+            rec.sent_to = {}
+            rec.received_from = {}
+            fold_ledgers(rec, entry.vid)
+        elif isinstance(rec, GroupRecord):
+            rec.world_ranks = remap_membership(
+                rec.world_ranks, f"group {hex(entry.vid)}"
+            )
+        elif isinstance(rec, RequestRecord):
+            if rec.persistent or not rec.completed:
+                raise ElasticRestartError(
+                    f"rank {old_rank}: "
+                    f"{'persistent' if rec.persistent else 'pending'} "
+                    f"request {entry.vid:#x} has endpoints in the old "
+                    f"world; elastic restore requires a quiesced "
+                    f"checkpoint with no outstanding requests"
+                )
+
+    incs: Dict[Tuple[int, ...], int] = {}
+    for key, n in table.membership_incarnations.items():
+        if key == old_world:
+            new_key = new_world
+        elif key == (old_rank,):
+            new_key = (new_rank,)
+        else:
+            continue  # freed sub-communicator history: irrelevant now
+        incs[new_key] = max(incs.get(new_key, 0), n)
+    table.membership_incarnations = incs
+    table._ggid_cache = {}
+    table.invalidate_cache()

@@ -1549,6 +1549,9 @@ class ManaRank:
             # once every image is durable (and prunes afterwards) — a
             # manifest written here would mark a generation restorable
             # while its images are still draining.
+            extra = {"vid_design": self.vids.design_name}
+            if coord.elastic_provenance is not None:
+                extra["elastic"] = dict(coord.elastic_provenance)
             ckpt.write_manifest(
                 self.ckpt_dir,
                 ticket.generation,
@@ -1557,7 +1560,7 @@ class ManaRank:
                 kind=ticket.kind,
                 cold_restartable=(ticket.kind == CheckpointKind.LOOP),
                 loop_target=coord.loop_target(),
-                extra={"vid_design": self.vids.design_name},
+                extra=extra,
                 dedup=coord.last_dedup,
             )
             if coord.keep_generations:
@@ -1618,15 +1621,18 @@ class ManaRank:
             blob = ckpt._pickle_upper_half(image)
             manifest = None
             if self.rank == 0:
+                extra = {
+                    "vid_design": self.vids.design_name,
+                    "async": True,
+                }
+                if coord.elastic_provenance is not None:
+                    extra["elastic"] = dict(coord.elastic_provenance)
                 manifest = {
                     "nranks": self.fabric.nranks,
                     "impl": self.impl_name,
                     "kind": ticket.kind,
                     "cold_restartable": ticket.kind == CheckpointKind.LOOP,
-                    "extra": {
-                        "vid_design": self.vids.design_name,
-                        "async": True,
-                    },
+                    "extra": extra,
                     "keep_generations": coord.keep_generations,
                 }
             coord.stage_async_blob(self.rank, path, image, blob, manifest)

@@ -17,12 +17,14 @@ Restart paths:
 
 from __future__ import annotations
 
+import copy
 import os
+import pickle
 import tempfile
 import threading
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.fabric.network import Fabric
 from repro.impls import make_lib
@@ -32,17 +34,26 @@ from repro.mana.checkpoint import (
     latest_generations,
     latest_restorable_generation,
     load_image,
+    pin_generation,
     read_manifest,
     rank_image_path,
     restorable_generations,
+    unpin_generation,
     validate_generation,
 )
 from repro.mana.coordinator import CheckpointCoordinator, CheckpointTicket
+from repro.mana.drain import redistribute_drain_buffers
+from repro.mana.virtid import remap_world
 from repro.mana.wrappers import ManaFacade, ManaRank
 from repro.runtime.context import RankContext
 from repro.runtime.platforms import cost_model_for
 from repro.simtime.clock import VirtualClock
-from repro.util.errors import JobPreempted, ReproError, RestartError
+from repro.util.errors import (
+    ElasticRestartError,
+    JobPreempted,
+    ReproError,
+    RestartError,
+)
 
 
 @dataclass
@@ -93,9 +104,42 @@ class JobConfig:
 class RestartPolicy:
     """Supervised-restart policy for :meth:`Launcher.supervise`: on a
     rank failure, restore the latest restorable generation and resume,
-    at most ``max_restarts`` times."""
+    at most ``max_restarts`` times.
+
+    ``elastic`` selects the restore shape:
+
+    * ``None`` (default) — restore at the checkpointed rank count; the
+      recovery trace is byte-identical to pre-elastic behaviour;
+    * ``"shrink_on_node_loss"`` — restore onto
+      ``min(capacity, checkpointed nranks)`` ranks (survive losing
+      nodes by packing the surviving capacity);
+    * ``"grow_to_capacity"`` — restore onto exactly the capacity value
+      (reclaim returned/spot nodes).
+
+    ``capacity`` gives the ranks available at each restart attempt
+    (attempt ``k`` uses ``capacity[min(k-1, len-1)]``; the last entry
+    repeats).  ``target_impl`` additionally migrates the restore to a
+    different MPI implementation (§9 interoperability), elastic or not.
+    """
 
     max_restarts: int = 2
+    elastic: Optional[str] = None    # None | "shrink_on_node_loss" |
+                                     # "grow_to_capacity"
+    capacity: Optional[Sequence[int]] = None
+    target_impl: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.elastic not in (
+            None, "shrink_on_node_loss", "grow_to_capacity"
+        ):
+            raise ValueError(
+                f"unknown elastic mode {self.elastic!r}; expected "
+                "'shrink_on_node_loss' or 'grow_to_capacity'"
+            )
+        if self.elastic is not None and not self.capacity:
+            raise ValueError(
+                f"elastic={self.elastic!r} requires a capacity schedule"
+            )
 
 
 @dataclass
@@ -158,6 +202,25 @@ class Job:
     ):
         if (app_factory is None) == (images is None):
             raise ValueError("provide exactly one of app_factory / images")
+        if images is not None:
+            if len(images) != config.nranks:
+                raise RestartError(
+                    f"{len(images)} checkpoint images for a "
+                    f"{config.nranks}-rank job; restore at the original "
+                    f"rank count or use elastic restart "
+                    f"(Launcher.elastic_restart / `python -m repro "
+                    f"restart --ranks N`) to repartition"
+                )
+            for img in images:
+                if img.nranks != config.nranks:
+                    raise RestartError(
+                        f"rank {img.rank} image was checkpointed at "
+                        f"nranks={img.nranks} but the job runs "
+                        f"{config.nranks} ranks; restore at the original "
+                        f"rank count or use elastic restart "
+                        f"(Launcher.elastic_restart / `python -m repro "
+                        f"restart --ranks N`) to repartition"
+                    )
         self.config = config
         self.app_factory = app_factory
         self.images = images
@@ -422,12 +485,38 @@ class Launcher:
                 })
                 break
             restarts += 1
-            events.append({
+            event = {
                 "event": "restart",
                 "attempt": restarts,
                 "generation": gen,
-            })
-            res = self.restart(ckpt_dir, gen).run(timeout)
+                # Generations newer than the chosen one exist but were
+                # not restorable (torn/incomplete); record the fallback.
+                "skipped_generations": [
+                    g for g in latest_generations(ckpt_dir) if g > gen
+                ],
+            }
+            if policy.elastic is None:
+                events.append(event)
+                res = self.restart(
+                    ckpt_dir, gen, impl_override=policy.target_impl
+                ).run(timeout)
+            else:
+                cap = policy.capacity[
+                    min(restarts - 1, len(policy.capacity) - 1)
+                ]
+                old_nranks = read_manifest(ckpt_dir, gen)["nranks"]
+                if policy.elastic == "shrink_on_node_loss":
+                    target = min(cap, old_nranks)
+                else:  # grow_to_capacity
+                    target = cap
+                event["elastic"] = policy.elastic
+                event["from_nranks"] = old_nranks
+                event["to_nranks"] = target
+                events.append(event)
+                res = self.elastic_restart(
+                    ckpt_dir, new_nranks=target, generation=gen,
+                    impl_override=policy.target_impl,
+                ).run(timeout)
             if res.status in ("completed", "preempted"):
                 events.append({
                     "event": "recovered",
@@ -484,6 +573,171 @@ class Launcher:
         implementation — the full-interoperability extension of §9
         (checkpoint under one MPI, restart under another).
         """
+        manifest = self._resolve_manifest(ckpt_dir, generation)
+        gen = manifest["generation"]
+        nranks = manifest["nranks"]
+        # Pin the generation while images stream in: a concurrent prune
+        # (keep_generations GC racing a supervised fallback restore)
+        # must not delete images under our feet.
+        pin_generation(ckpt_dir, gen)
+        try:
+            images = [
+                load_image(
+                    rank_image_path(ckpt_dir, gen, r), expect_nranks=nranks
+                )
+                for r in range(nranks)
+            ]
+        finally:
+            unpin_generation(ckpt_dir, gen)
+        cfg = self._restart_config(
+            ckpt_dir, nranks, impl_override or manifest["impl"],
+            epoch=max(img.epoch for img in images) + 1,
+        )
+        job = Job(cfg, images=images)
+        self._floor_generation(job, ckpt_dir)
+        return job
+
+    def elastic_restart(
+        self,
+        ckpt_dir: str,
+        new_nranks: Optional[int] = None,
+        generation: Optional[int] = None,
+        impl_override: Optional[str] = None,
+    ) -> Job:
+        """Cold restart an N-rank checkpoint onto M ranks
+        (PROTOCOLS.md §12).
+
+        The upper halves of all N checkpointed ranks are loaded,
+        repartitioned by the application's :meth:`repartition` contract,
+        virtual-id tables are remapped to the M-rank world, drained
+        messages are redistributed, and a fresh M-rank job adopts the
+        synthetic images.  The first checkpoint the restored job writes
+        is stamped with elastic provenance (from/to nranks and impl,
+        source generation).
+
+        ``new_nranks=None`` or the checkpointed count delegates to plain
+        :meth:`restart` — equal-size restores keep byte-identical
+        recovery traces.  ``impl_override`` composes with resizing
+        (checkpoint under one MPI at N ranks, restart under another at
+        M).  Raises :class:`ElasticRestartError` when the checkpointed
+        state pins the old world size (sub-communicators, cartesian
+        topologies, pending requests, or a non-elastic application).
+        """
+        manifest = self._resolve_manifest(ckpt_dir, generation)
+        gen = manifest["generation"]
+        old_nranks = manifest["nranks"]
+        if new_nranks is None or new_nranks == old_nranks:
+            return self.restart(
+                ckpt_dir, generation=gen, impl_override=impl_override
+            )
+        if new_nranks < 1:
+            raise ElasticRestartError(
+                f"cannot restore onto {new_nranks} ranks"
+            )
+        vid_design = (manifest.get("extra") or {}).get("vid_design")
+        if vid_design != "new":
+            raise ElasticRestartError(
+                f"generation {gen} was checkpointed with "
+                f"vid_design={vid_design!r}; elastic restore requires "
+                f"the 'new' (MANA) virtual-id design to remap tables"
+            )
+        pin_generation(ckpt_dir, gen)
+        try:
+            images = [
+                load_image(
+                    rank_image_path(ckpt_dir, gen, r),
+                    expect_nranks=old_nranks,
+                )
+                for r in range(old_nranks)
+            ]
+        finally:
+            unpin_generation(ckpt_dir, gen)
+
+        # Step 1: repartition application state N → M.
+        app_cls = type(images[0].app)
+        repartition = getattr(app_cls, "repartition", None)
+        if repartition is None or not getattr(app_cls, "elastic", False):
+            raise ElasticRestartError(
+                f"application {app_cls.__name__} does not support "
+                f"elastic repartitioning (elastic=False or no "
+                f"repartition contract)"
+            )
+        new_apps, plan = repartition(
+            [img.app for img in images], new_nranks
+        )
+        rank_map = plan.rank_map()
+
+        # Step 2 + 3: remap virtual-id tables and redistribute drained
+        # messages to the M-rank world.
+        target_impl = impl_override or manifest["impl"]
+        buffers = {img.rank: img.drain_buffer for img in images}
+        new_buffers = redistribute_drain_buffers(
+            buffers, rank_map, new_nranks
+        )
+        new_images: List[CheckpointImage] = []
+        for r in range(new_nranks):
+            src = plan.src_of(r)
+            seed_img = images[src]
+            # Deep-copy the seed table: the originals stay pristine so
+            # every new rank can fold ledgers from the *unmodified*
+            # tables of the old ranks it inherits (and grow clones can
+            # share one seed).
+            table = pickle.loads(pickle.dumps(seed_img.vid_table))
+            remap_world(
+                table,
+                old_nranks=old_nranks,
+                new_nranks=new_nranks,
+                old_rank=src,
+                new_rank=r,
+                rank_map=rank_map,
+                merge_tables=[
+                    images[o].vid_table for o in plan.merged_into(r)
+                ],
+            )
+            new_images.append(CheckpointImage(
+                rank=r,
+                nranks=new_nranks,
+                impl=target_impl,
+                kind=seed_img.kind,
+                generation=gen,
+                app=new_apps[r],
+                loops=dict(seed_img.loops),
+                vid_table=table,
+                drain_buffer=new_buffers[r],
+                clock_state=copy.deepcopy(seed_img.clock_state),
+                rng_state=copy.deepcopy(seed_img.rng_state),
+                cs_count=seed_img.cs_count,
+                epoch=seed_img.epoch,
+                stored_bytes=seed_img.stored_bytes,
+            ))
+
+        # Step 4: a fresh M-rank job adopts the synthetic images; its
+        # first checkpoint is stamped with elastic provenance.
+        cfg = self._restart_config(
+            ckpt_dir, new_nranks, target_impl,
+            epoch=max(img.epoch for img in images) + 1,
+        )
+        job = Job(cfg, images=new_images)
+        self._floor_generation(job, ckpt_dir)
+        if job.coordinator is not None:
+            job.coordinator.stamp_elastic({
+                "from_nranks": old_nranks,
+                "to_nranks": new_nranks,
+                "from_impl": manifest["impl"],
+                "to_impl": target_impl,
+                "source_generation": gen,
+            })
+        return job
+
+    # -- restart plumbing ----------------------------------------------
+    @staticmethod
+    def _resolve_manifest(ckpt_dir: str, generation: Optional[int]) -> dict:
+        """Resolve a restart target to its manifest.
+
+        ``generation=None`` picks the newest restorable generation (or
+        raises with per-generation diagnostics); an explicit generation
+        is strict.  Either way the result must be cold-restartable.
+        """
         if generation is None:
             generation = latest_restorable_generation(ckpt_dir)
             if generation is None:
@@ -506,15 +760,14 @@ class Launcher:
                 f"checkpoint (kind={manifest['kind']}); only LOOP-kind "
                 f"images are cold-restartable (DESIGN.md §5)"
             )
-        gen = manifest["generation"]
-        nranks = manifest["nranks"]
-        images = [
-            load_image(rank_image_path(ckpt_dir, gen, r))
-            for r in range(nranks)
-        ]
-        cfg = JobConfig(
+        return manifest
+
+    def _restart_config(
+        self, ckpt_dir: str, nranks: int, impl: str, *, epoch: int
+    ) -> JobConfig:
+        return JobConfig(
             nranks=nranks,
-            impl=impl_override or manifest["impl"],
+            impl=impl,
             platform=self.config.platform,
             mana=True,
             vid_design=self.config.vid_design,
@@ -523,7 +776,7 @@ class Launcher:
             ckpt_dir=ckpt_dir,
             loop_lag_window=self.config.loop_lag_window,
             ckpt_interval=self.config.ckpt_interval,
-            epoch=max(img.epoch for img in images) + 1,
+            epoch=epoch,
             deadline=self.config.deadline,
             faults=self.config.faults,
             ckpt_phase_timeout=self.config.ckpt_phase_timeout,
@@ -534,14 +787,15 @@ class Launcher:
             ckpt_keep_generations=self.config.ckpt_keep_generations,
             ckpt_async=self.config.ckpt_async,
         )
-        job = Job(cfg, images=images)
+
+    @staticmethod
+    def _floor_generation(job: Job, ckpt_dir: str) -> None:
+        # New checkpoints must not clobber generations newer than the
+        # one being restored (e.g. an incomplete one we skipped).
         if job.coordinator is not None:
-            # New checkpoints must not clobber generations newer than
-            # the one being restored (e.g. an incomplete one we skipped).
             existing = latest_generations(ckpt_dir)
             if existing:
                 job.coordinator.generation = existing[-1]
-        return job
 
     @staticmethod
     def available_generations(ckpt_dir: str) -> List[int]:

@@ -100,6 +100,15 @@ class IntegrityError(RestartError):
     checksum mismatch, or unrecognized header."""
 
 
+class ElasticRestartError(RestartError):
+    """An N-rank checkpoint cannot be restored onto M ranks.
+
+    Raised when the upper-half state pins the old world size in a way
+    the elastic-restore protocol (PROTOCOLS.md §12) cannot remap: live
+    sub-communicators, cartesian topologies, or pending nonblocking
+    requests whose endpoints would move."""
+
+
 class JobPreempted(ReproError):
     """Raised inside every rank when a checkpoint was requested with
     mode="exit": the job saved its state and is being torn down (the

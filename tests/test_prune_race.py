@@ -1,0 +1,112 @@
+"""Generation pruning racing a restart: pinned generations survive.
+
+``Launcher.restart``/``elastic_restart`` pin the generation they are
+reading; a concurrent ``prune_generations`` + chunk GC (the
+``ckpt_keep_generations`` janitor of another job sharing the checkpoint
+directory) must not delete images or chunks out from under the restore —
+even when the restore targets an *older* generation than the prune would
+keep (the supervised-fallback case).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import JobConfig, Launcher
+from repro.apps.elastic import ElasticHaloApp
+from repro.mana.checkpoint import (
+    gc_chunks,
+    pin_generation,
+    pinned_generations,
+    prune_generations,
+    restorable_generations,
+    unpin_generation,
+)
+
+SEED = 7
+
+
+def _two_generations(ckpt_dir: str, nranks: int = 4) -> JobConfig:
+    spec = replace(
+        ElasticHaloApp.paper_config(), nranks=nranks, seed=SEED, blocks=8,
+    )
+    cfg = JobConfig(
+        nranks=nranks, impl="mpich", mana=True, seed=SEED,
+        ckpt_dir=ckpt_dir, loop_lag_window=2, deadline=60.0,
+    )
+    job = Launcher(cfg).launch(lambda r: ElasticHaloApp(spec))
+    job.checkpoint_at_iteration("main", 2, kind="loop")  # gen 1 (iter 4)
+    job.checkpoint_at_iteration("main", 4, kind="loop")  # gen 2 (iter 6)
+    res = job.run(60.0)
+    assert res.status == "completed", res.first_error()
+    assert restorable_generations(ckpt_dir) == [1, 2]
+    return cfg
+
+
+def test_prune_skips_pinned_generations(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    _two_generations(ckpt)
+    pin_generation(ckpt, 1)
+    try:
+        prune_generations(ckpt, keep=1)
+        gc_chunks(ckpt)
+        # keep=1 would have doomed gen 1; the pin protected it.
+        assert restorable_generations(ckpt) == [1, 2]
+    finally:
+        unpin_generation(ckpt, 1)
+    prune_generations(ckpt, keep=1)
+    gc_chunks(ckpt)
+    assert restorable_generations(ckpt) == [2]
+
+
+def test_pins_are_refcounted(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    _two_generations(ckpt)
+    pin_generation(ckpt, 1)
+    pin_generation(ckpt, 1)
+    unpin_generation(ckpt, 1)
+    assert 1 in pinned_generations(ckpt)   # still held once
+    prune_generations(ckpt, keep=1)
+    assert 1 in restorable_generations(ckpt)
+    unpin_generation(ckpt, 1)
+    assert 1 not in pinned_generations(ckpt)
+
+
+@pytest.mark.parametrize("elastic", [False, True])
+def test_restore_survives_concurrent_prune(tmp_path, monkeypatch, elastic):
+    """A prune+GC fired in the middle of image loading (after the first
+    rank's image is read, before the rest) cannot tear the restore: the
+    restart pinned its generation first."""
+    import repro.runtime.launcher as launcher_mod
+
+    ckpt = str(tmp_path / "ckpt")
+    cfg = _two_generations(ckpt)
+    real_load = launcher_mod.load_image
+    fired = {}
+
+    def racing_load(path, expect_nranks=None):
+        if not fired:
+            # The restore targets gen 1; an unpinned prune with keep=1
+            # would delete it right here.
+            fired["prune"] = prune_generations(ckpt, keep=1)
+            fired["gc"] = gc_chunks(ckpt)
+            assert 1 in pinned_generations(ckpt)
+        return real_load(path, expect_nranks=expect_nranks)
+
+    monkeypatch.setattr(launcher_mod, "load_image", racing_load)
+    launcher = Launcher(cfg)
+    if elastic:
+        job = launcher.elastic_restart(ckpt, new_nranks=2, generation=1)
+    else:
+        job = launcher.restart(ckpt, generation=1)
+    assert fired, "racing prune never fired"
+    res = job.run(60.0)
+    assert res.status == "completed", res.first_error()
+    # The pin was released once the images were in memory...
+    assert pinned_generations(ckpt) == set()
+    # ...and generation 1 survived the mid-restore prune.
+    assert 1 in restorable_generations(ckpt)
+    # With no restore in flight the same prune now collects it.
+    prune_generations(ckpt, keep=1)
+    gc_chunks(ckpt)
+    assert 1 not in restorable_generations(ckpt)
