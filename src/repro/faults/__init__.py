@@ -7,12 +7,18 @@
   checkpoint writer);
 * :mod:`repro.faults.scenarios` — end-to-end survival scenarios behind
   ``python -m repro faults`` / ``fault-smoke`` (imported lazily: it
-  pulls in the whole runtime).
+  pulls in the whole runtime);
+* :mod:`repro.faults.crashpoints` — :class:`CrashPointInjector`, the
+  syscall-boundary process-death adversary of the durability layer;
+* :mod:`repro.faults.crashsweep` — the crash-injection sweep behind
+  ``python -m repro crash-smoke`` (imported lazily, like scenarios).
 
-See docs/PROTOCOLS.md §9 for the fault model and recovery protocol.
+See docs/PROTOCOLS.md §9 for the fault model and recovery protocol,
+§13 for the durability/crash model.
 """
 
+from repro.faults.crashpoints import CrashPointInjector
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, FaultSpec
 
-__all__ = ["FaultPlan", "FaultSpec", "FaultInjector"]
+__all__ = ["FaultPlan", "FaultSpec", "FaultInjector", "CrashPointInjector"]

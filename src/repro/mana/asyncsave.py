@@ -37,6 +37,7 @@ clock: time charged to the simulation is derived from byte counts by
 
 from __future__ import annotations
 
+import glob
 import os
 import queue
 import threading
@@ -44,6 +45,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.mana import checkpoint as ckpt
+from repro.mana import storeio
+from repro.mana.journal import Journal
 
 
 @dataclass
@@ -113,6 +116,14 @@ class AsyncSaveDrainer:
                     self._idle.set()
 
     def _drain_one(self, job: DrainJob) -> None:
+        # Everything the drainer writes is labeled with the "drain"
+        # operation context, so its crash points are named drain.* and a
+        # crash-injection sweep can target the async path separately
+        # from the synchronous save path.
+        with storeio.op_context("drain"):
+            self._drain_one_inner(job)
+
+    def _drain_one_inner(self, job: DrainJob) -> None:
         coord = self.coordinator
         base = coord.ckpt_dir
         store = coord.chunk_store
@@ -133,6 +144,13 @@ class AsyncSaveDrainer:
             error = exc
         try:
             if error is None:
+                # Journal the finalize as one unit: manifest commit plus
+                # the post-commit prune.  A crash in between leaves the
+                # record pending and fsck rolls forward (the manifest is
+                # on disk) and finishes any half-done prune.
+                fin = Journal(base).begin(
+                    "drain-finalize", generation=job.generation
+                )
                 dedup = self._finish_generation(job, stats)
             else:
                 dedup = None
@@ -146,6 +164,8 @@ class AsyncSaveDrainer:
                 keep = job.manifest.get("keep_generations")
                 if keep:
                     ckpt.prune_generations(base, keep)
+            if error is None:
+                Journal(base).retire(fin)
         finally:
             if pinned:
                 ckpt.unpin_generation(base, job.generation)
@@ -212,12 +232,22 @@ class AsyncSaveDrainer:
         coord = self.coordinator
         for item in job.ranks.values():
             # Both the durable image and any torn temp file an injected
-            # mid-save fault left behind.
-            for victim in (item["path"], item["path"] + ".tmp"):
+            # mid-save fault left behind (unique per-writer names plus
+            # the legacy bare ``.tmp`` suffix).
+            victims = [item["path"], item["path"] + ".tmp"]
+            victims += glob.glob(glob.escape(item["path"]) + ".*.tmp")
+            for victim in victims:
                 try:
                     os.remove(victim)
                 except OSError:
                     pass
+        # The rollback happened in-process — the drainer survives the
+        # fault — so this generation's pending image-save records must
+        # be retired here, or a later fsck would mistake the *handled*
+        # fault for a dirty shutdown.
+        Journal(coord.ckpt_dir).retire_matching(
+            op="image-save", generation=job.generation
+        )
         ckpt.invalidate_checkpoint_caches(coord.ckpt_dir)
         coord.round_events.append({
             "event": "async-drain-failed",

@@ -50,13 +50,14 @@ import hashlib
 import json
 import os
 import pickle
-import shutil
 import struct
 import threading
 import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.mana import storeio
+from repro.mana.journal import JOURNAL_DIRNAME, Journal
 from repro.mana.chunkstore import (
     CHUNK_MAX,
     CHUNK_MIN,
@@ -78,6 +79,9 @@ FORMAT_VERSION = 5
 SUPPORTED_FORMATS = (4, 5)
 MAGIC = b"RPCKPTIM"
 MANIFEST_NAME = "manifest.json"
+QUARANTINE_DIRNAME = "quarantine"
+#: Base-dir entries that are part of the store layout, not generations.
+RESERVED_DIRNAMES = (STORE_DIRNAME, JOURNAL_DIRNAME, QUARANTINE_DIRNAME)
 _LEN = struct.Struct(">I")
 _HDR_DIGEST_LEN = 32  # raw sha256 appended to format-5 headers
 
@@ -237,7 +241,7 @@ def _injection_points(path: str, data: bytes, image: CheckpointImage,
     the final path); a disk-full error cleans its partial temp file up
     and surfaces the error with the final path untouched.
     """
-    tmp = path + ".tmp"
+    tmp = storeio.tmp_name(path)
     try:
         injector.crash_point("mid-save", image.rank, image.generation, vtime)
     except InjectedFault:
@@ -271,14 +275,23 @@ def save_image(path: str, image: CheckpointImage, injector=None,
     fire a mid-save crash or a disk-full error at this site.
     """
     os.makedirs(os.path.dirname(path), exist_ok=True)
-    invalidate_checkpoint_caches(_base_dir_of(path))
+    base = _base_dir_of(path)
+    invalidate_checkpoint_caches(base)
     data = _encode_image_v4(image)
+    # Intent journal: a crash anywhere inside this mutation leaves the
+    # record pending, and fsck rolls the (manifest-less) generation
+    # back.  No in-writer rollback on exceptions — the writer is
+    # treated as dead and repair is fsck's job (PROTOCOLS.md §13).
+    token = Journal(base).begin(
+        "image-save", generation=image.generation, rank=image.rank,
+        format=4,
+    )
     if injector is not None:
         _injection_points(path, data, image, injector, vtime)
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as f:
-        f.write(data)
-    os.replace(tmp, path)  # atomic: no torn images
+    tmp = storeio.tmp_name(path)
+    storeio.write_file(tmp, data, site="image.tmp")
+    storeio.rename(tmp, path, site="image")  # atomic: no torn images
+    Journal(base).retire(token)
     if injector is not None:
         # Post-rename bit rot / torn-write simulation on the final file.
         injector.after_save(path, image.rank, image.generation)
@@ -361,12 +374,23 @@ def save_chunked_blob(
     referencing header is not yet visible on disk.
     """
     os.makedirs(os.path.dirname(path), exist_ok=True)
-    invalidate_checkpoint_caches(_base_dir_of(path))
+    base = _base_dir_of(path)
+    invalidate_checkpoint_caches(base)
     spans = chunk_spans(blob)
     view = memoryview(blob)
     digests = digest_spans(view, spans)
     refs = [[d, e - s] for d, (s, e) in zip(digests, spans)]
     data = _encode_image_v5(image, len(blob), refs, store.compress_level)
+    # Intent journal: pending record = this image (and the chunks only
+    # it references) may be half-published; fsck rolls the generation
+    # back unless its manifest made it to disk.  Chunk publishes are
+    # covered by this record rather than journaled one-by-one — an
+    # orphaned chunk is invisible (content-addressed, unreferenced)
+    # until GC or fsck reclaims it.
+    token = Journal(base).begin(
+        "image-save", generation=image.generation, rank=image.rank,
+        format=5,
+    )
     if injector is not None:
         _injection_points(path, data, image, injector, vtime)
     seen: Set[str] = set()
@@ -398,13 +422,13 @@ def save_chunked_blob(
             results = [_store_chunk_run(store, view, r) for r in runs]
         written = sum(w for w, _ in results)
         new_digests = [d for _, nd in results for d in nd]
-        tmp = path + ".tmp"
-        with open(tmp, "wb") as f:
-            f.write(data)
-        os.replace(tmp, path)
+        tmp = storeio.tmp_name(path)
+        storeio.write_file(tmp, data, site="image.tmp")
+        storeio.rename(tmp, path, site="image")
     finally:
         if pin:
             store.unpin(seen)
+    Journal(base).retire(token)
     if injector is not None:
         injector.after_save(path, image.rank, image.generation)
         injector.after_chunked_save(
@@ -648,10 +672,17 @@ def write_manifest(
     }
     if dedup is not None:
         doc["dedup"] = dedup
-    tmp = path + ".tmp"
-    with open(tmp, "w") as f:
-        json.dump(doc, f, indent=2)
-    os.replace(tmp, path)
+    # The manifest is the generation's commit marker: journal the commit
+    # intent, publish atomically, retire.  A crash in between leaves a
+    # pending record for fsck, which rolls forward (manifest landed) or
+    # back (it did not — the generation is invisible either way).
+    token = Journal(base_dir).begin("manifest-commit", generation=generation)
+    tmp = storeio.tmp_name(path)
+    storeio.write_file(
+        tmp, json.dumps(doc, indent=2).encode("utf-8"), site="manifest.tmp"
+    )
+    storeio.rename(tmp, path, site="manifest")
+    Journal(base_dir).retire(token)
     # A new generation just completed: cached listings/verdicts for this
     # base dir are stale.
     invalidate_checkpoint_caches(base_dir)
@@ -698,7 +729,7 @@ def latest_generations(base_dir: str) -> List[int]:
                 continue
             except ValueError:
                 pass
-        if name == STORE_DIRNAME or name.endswith(".tmp"):
+        if name in RESERVED_DIRNAMES or name.endswith(storeio.TMP_SUFFIX):
             continue
         with _CACHE_LOCK:
             if (key, name) in _WARNED_ENTRIES:
@@ -706,7 +737,8 @@ def latest_generations(base_dir: str) -> List[int]:
             _WARNED_ENTRIES.add((key, name))
         warnings.warn(
             f"unrecognized entry {name!r} in checkpoint dir {base_dir} "
-            f"(expected ckpt_<generation> dirs or {STORE_DIRNAME!r})",
+            f"(expected ckpt_<generation> dirs or one of "
+            f"{RESERVED_DIRNAMES})",
             stacklevel=2,
         )
     gens.sort()
@@ -853,12 +885,42 @@ def referenced_chunks(base_dir: str,
 
 def gc_chunks(base_dir: str) -> Tuple[int, int]:
     """Delete store chunks referenced by no remaining generation;
-    returns (chunks removed, compressed bytes reclaimed)."""
+    returns (chunks removed, compressed bytes reclaimed).
+
+    GC is journaled but idempotent: a crash mid-sweep leaves a pending
+    ``gc`` record and some unreferenced chunks undeleted; fsck simply
+    redoes the reference scan and finishes the sweep.
+    """
     store = store_for(base_dir)
-    removed, reclaimed = store.gc(referenced_chunks(base_dir))
+    with storeio.op_context("gc"):
+        token = Journal(base_dir).begin("gc")
+        removed, reclaimed = store.gc(referenced_chunks(base_dir))
+        Journal(base_dir).retire(token)
     if removed:
         invalidate_checkpoint_caches(base_dir)
     return removed, reclaimed
+
+
+def remove_generation_dir(base_dir: str, generation: int) -> None:
+    """Delete one generation directory, manifest **first**.
+
+    Ordering is the crash-safety argument: the manifest is the commit
+    marker, so unlinking it first makes the generation invisible before
+    any image disappears — a crash mid-removal leaves a manifest-less
+    directory that fsck (or a re-run prune) finishes deleting, never a
+    manifest pointing at missing images.
+    """
+    d = generation_dir(base_dir, generation)
+    storeio.unlink(os.path.join(d, MANIFEST_NAME), site="manifest")
+    try:
+        names = sorted(os.listdir(d))
+    except FileNotFoundError:
+        return
+    for name in names:
+        if name == MANIFEST_NAME:
+            continue
+        storeio.unlink(os.path.join(d, name), site="image")
+    storeio.rmdir(d, site="generation")
 
 
 def prune_generations(base_dir: str, keep: int) -> Dict:
@@ -869,6 +931,11 @@ def prune_generations(base_dir: str, keep: int) -> Dict:
     do not count toward ``keep`` — a half-materialized newest generation
     must not cause the last complete one to be pruned out from under a
     restart.
+
+    The journaled ``prune`` record names the doomed generations up
+    front; deletion (manifest-first, see :func:`remove_generation_dir`)
+    is re-runnable, so fsck finishes an interrupted prune instead of
+    rolling it back.
     """
     if keep < 1:
         raise ValueError(f"keep must be >= 1, got {keep}")
@@ -876,11 +943,16 @@ def prune_generations(base_dir: str, keep: int) -> Dict:
     pinned = pinned_generations(base_dir)
     prunable = [g for g in gens if g not in pinned]
     doomed = prunable[:-keep] if len(prunable) > keep else []
-    for g in doomed:
-        shutil.rmtree(generation_dir(base_dir, g), ignore_errors=True)
-    if doomed:
-        invalidate_checkpoint_caches(base_dir)
-    removed, reclaimed = gc_chunks(base_dir)
+    with storeio.op_context("prune"):
+        token = None
+        if doomed:
+            token = Journal(base_dir).begin("prune", generations=doomed)
+        for g in doomed:
+            remove_generation_dir(base_dir, g)
+        if doomed:
+            invalidate_checkpoint_caches(base_dir)
+        removed, reclaimed = gc_chunks(base_dir)
+        Journal(base_dir).retire(token)
     return {
         "pruned_generations": doomed,
         "kept_generations": [g for g in gens if g not in doomed],

@@ -32,9 +32,11 @@ import hashlib
 import os
 import sys
 import threading
+import warnings
 import zlib
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.mana import storeio
 from repro.util.errors import IntegrityError
 
 try:  # numpy vectorizes the rolling hash; fall back to pure python
@@ -309,15 +311,14 @@ class ChunkStore:
         # dedup hit.  (os.replace would let both "succeed" and the
         # double-counted bytes would make checkpoint durations — hence
         # recovery traces — scheduling-dependent.)
-        tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
-        with open(tmp, "wb") as f:
-            f.write(comp)
+        tmp = storeio.tmp_name(path)
+        storeio.write_file(tmp, comp, site="chunk.tmp")
         try:
-            os.link(tmp, path)
+            storeio.link(tmp, path, site="chunk")
         except FileExistsError:
             return 0, True
         finally:
-            os.remove(tmp)
+            storeio.unlink(tmp, site="chunk.tmp", missing_ok=True)
         with self._lock:
             st = os.stat(path)
             self._verified[digest] = (st.st_size, st.st_mtime_ns)
@@ -430,17 +431,53 @@ class ChunkStore:
         keep = set(referenced) | self.pinned()
         removed = 0
         reclaimed = 0
-        for digest in self.digests() - keep:
+        for digest in sorted(self.digests() - keep):
             path = self.chunk_path(digest)
             try:
-                reclaimed += os.path.getsize(path)
-                os.remove(path)
+                size = os.path.getsize(path)
+                storeio.unlink(path, site="chunk", missing_ok=False)
+                reclaimed += size
                 removed += 1
             except OSError:
                 continue
             with self._lock:
                 self._verified.pop(digest, None)
         return removed, reclaimed
+
+    # ------------------------------------------------------------------
+    # crash-recovery hygiene
+    # ------------------------------------------------------------------
+    def sweep_stray_tmp(self, warn: bool = True) -> int:
+        """Remove leftover ``*.tmp`` files under the store dir.
+
+        A crash between writing a chunk's temp file and publishing (or
+        unlinking) it strands the temp file forever — its unique name
+        means no later writer ever reuses it.  Swept at store open
+        (:func:`store_for`) and by fsck.  Temp files whose embedded
+        writer pid is still alive are left alone (a concurrent job may
+        be mid-publish); legacy names with no parseable owner are
+        treated as dead.  Returns the number removed."""
+        if not os.path.isdir(self.dir):
+            return 0
+        removed = 0
+        for name in sorted(os.listdir(self.dir)):
+            if not name.endswith(".tmp"):
+                continue
+            if storeio.tmp_owner_alive(name):
+                continue
+            try:
+                os.remove(os.path.join(self.dir, name))
+                removed += 1
+            except OSError:
+                continue
+        if removed and warn:
+            warnings.warn(
+                f"chunk store {self.dir}: removed {removed} stray .tmp "
+                f"file(s) left by a dead writer (dirty shutdown); run "
+                f"`python -m repro fsck` for a full repair",
+                stacklevel=2,
+            )
+        return removed
 
 
 # ----------------------------------------------------------------------
@@ -460,9 +497,15 @@ def store_for(base_dir: str,
     key = os.path.abspath(base_dir)
     with _STORES_LOCK:
         store = _STORES.get(key)
-        if store is None:
+        created = store is None
+        if created:
             store = ChunkStore(base_dir)
             _STORES[key] = store
         if compress_level is not None:
             store.compress_level = compress_level
-        return store
+    if created:
+        # Store open: clear temp files stranded by a dead writer (a
+        # crash between write-tmp and publish); live writers' temps are
+        # left untouched.
+        store.sweep_stray_tmp()
+    return store

@@ -792,22 +792,37 @@ class CheckpointCoordinator:
 
     def phase_snapshot(self) -> str:
         """One-line description of where the checkpoint round stands —
-        used by timeout errors to name the stuck phase and ranks."""
+        used by timeout errors to name the stuck phase and ranks.
+
+        Names the round (generation, kind/mode, retry attempt), the
+        stuck gate with arrived vs outstanding ranks, and whether the
+        async drainer is still busy — enough to diagnose a hang from
+        the exception text alone.
+        """
         phase = self._phase
+        bits = [f"coordinator phase {phase!r}"]
+        t = self._intent
+        if t is not None:
+            round_desc = f"generation {t.generation} ({t.kind}/{t.mode}"
+            if self._round_attempt:
+                round_desc += f", retry attempt {self._round_attempt + 1}"
+            bits.append(round_desc + ")")
         gate = {
             "quiesce": self._g_quiesce,
             "drain": self._g_drained,
             "save": self._g_saved,
             "resume": self._g_resumed,
         }.get(phase)
-        if gate is None:
-            return f"coordinator phase {phase!r}"
-        arrived = gate.arrived_ranks()
-        outstanding = sorted(set(range(self.nranks)) - set(arrived))
-        return (
-            f"coordinator phase {phase!r}: arrived ranks {arrived}, "
-            f"outstanding ranks {outstanding}"
-        )
+        if gate is not None:
+            arrived = gate.arrived_ranks()
+            outstanding = sorted(set(range(self.nranks)) - set(arrived))
+            bits.append(
+                f"arrived ranks {arrived}, outstanding ranks {outstanding}"
+            )
+        d = self._drainer
+        if d is not None and not d._idle.is_set():
+            bits.append("async drain in flight")
+        return "; ".join(bits)
 
     def _on_quiesced(self) -> None:
         self._ckpt_start_time = max(self._rank_clocks.values())

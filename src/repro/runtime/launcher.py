@@ -42,6 +42,7 @@ from repro.mana.checkpoint import (
     validate_generation,
 )
 from repro.mana.coordinator import CheckpointCoordinator, CheckpointTicket
+from repro.mana.fsck import auto_repair
 from repro.mana.drain import redistribute_drain_buffers
 from repro.mana.virtid import remap_world
 from repro.mana.wrappers import ManaFacade, ManaRank
@@ -471,6 +472,17 @@ class Launcher:
         while res.status == "failed":
             events.append(self._failure_event(res))
             ckpt_dir = self.config.resolved_ckpt_dir()
+            # A failed run may have died mid-mutation (pending journal
+            # records, stray temp files).  Repair before choosing a
+            # restore point so the fallback never lands on a
+            # half-written generation; a clean directory adds no event.
+            report = auto_repair(ckpt_dir)
+            if report is not None:
+                events.append({
+                    "event": "fsck",
+                    "rolled_back_generations":
+                        report.rolled_back_generations,
+                })
             gen = latest_restorable_generation(ckpt_dir)
             if gen is None:
                 events.append({
@@ -485,16 +497,26 @@ class Launcher:
                 })
                 break
             restarts += 1
+            skipped = [g for g in latest_generations(ckpt_dir) if g > gen]
             event = {
                 "event": "restart",
                 "attempt": restarts,
                 "generation": gen,
                 # Generations newer than the chosen one exist but were
                 # not restorable (torn/incomplete); record the fallback.
-                "skipped_generations": [
-                    g for g in latest_generations(ckpt_dir) if g > gen
-                ],
+                "skipped_generations": skipped,
             }
+            if skipped:
+                # Why each newer generation was passed over — with the
+                # base dir relativized so the trace stays bit-identical
+                # across runs in different temp directories.
+                event["skip_reasons"] = {
+                    g: [
+                        p.replace(ckpt_dir, "<ckpt>")
+                        for p in validate_generation(ckpt_dir, g)
+                    ]
+                    for g in skipped
+                }
             if policy.elastic is None:
                 events.append(event)
                 res = self.restart(
@@ -531,14 +553,15 @@ class Launcher:
     def _failure_event(res: JobResult) -> dict:
         """Summarize a failed run into one deterministic event.
 
-        The victim is the rank whose traceback names an InjectedFault
-        (its virtual clock at the crash is seed-deterministic); other
-        ranks observe the abort at scheduling-dependent times, so their
-        clocks must not leak into the recovery trace.
+        The victim is the rank whose traceback names an injected fault
+        or crash (its virtual clock at the crash is seed-deterministic);
+        other ranks observe the abort at scheduling-dependent times, so
+        their clocks must not leak into the recovery trace.
         """
         victim = None
         for r in res.ranks:
-            if r.error and "InjectedFault" in r.error:
+            if r.error and ("InjectedFault" in r.error
+                            or "InjectedCrash" in r.error):
                 victim = r
                 break
         if victim is None:

@@ -91,6 +91,17 @@ class InjectedFault(ReproError):
     tests can assert the fault — not some accident — fired."""
 
 
+class InjectedCrash(InjectedFault):
+    """A simulated *process death* at a named store-mutation syscall
+    boundary (:class:`repro.faults.CrashPointInjector`).
+
+    Unlike a plain :class:`InjectedFault` — which a live process may
+    catch and clean up after — an ``InjectedCrash`` marks its injector
+    *dead*: every subsequent shimmed store operation raises too, so
+    ``finally`` blocks cannot tidy the store the way a real kill -9
+    never would.  Recovery is ``repro fsck``'s job, not the writer's."""
+
+
 class RestartError(ReproError):
     """A failure while reconstructing MPI objects or upper-half state."""
 
